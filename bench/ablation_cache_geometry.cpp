@@ -1,0 +1,89 @@
+// Ablation: are the paper's conclusions an artefact of one cache
+// geometry? Runs the PageRank miss-rate comparison (Original vs Random vs
+// Gorder) across several hierarchies — the replication's Xeon, a smaller
+// laptop-like hierarchy, a large-L3 server, and a single-level cache —
+// and shows the ordering of orderings is stable.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace gorder;
+  auto opt = bench::BenchOptions::Parse(argc, argv, /*default_scale=*/0.5);
+  Flags flags(argc, argv);
+  const std::string dataset = flags.GetString("dataset", "sdarc");
+
+  Graph g = gen::MakeDataset(dataset, opt.scale, opt.seed);
+  bench::PrintHeader("Ablation: cache geometry sensitivity", g, dataset);
+  auto config = harness::MakeDefaultConfig(g, 3, opt.seed);
+  config.pagerank_iterations = 2;
+
+  struct Geometry {
+    std::string name;
+    cachesim::CacheHierarchyConfig config;
+  };
+  std::vector<Geometry> geometries;
+  geometries.push_back({"scaled bench (8K/32K/256K)",
+                        cachesim::CacheHierarchyConfig::ScaledBench()});
+  geometries.push_back(
+      {"replication Xeon (32K/256K/20M)",
+       cachesim::CacheHierarchyConfig::ReplicationXeon()});
+  {
+    cachesim::CacheHierarchyConfig c;
+    c.levels = {{"L1", 32 * 1024, 8, 4.0}, {"L2", 1024 * 1024, 16, 14.0}};
+    c.memory_latency_cycles = 120.0;
+    geometries.push_back({"laptop (32K/1M, no L3)", c});
+  }
+  {
+    cachesim::CacheHierarchyConfig c;
+    c.levels = {{"L1", 64 * 1024, 8, 5.0},
+                {"L2", 512 * 1024, 8, 14.0},
+                {"L3", 64 * 1024 * 1024, 16, 50.0}};
+    c.memory_latency_cycles = 200.0;
+    geometries.push_back({"server (64K/512K/64M)", c});
+  }
+  {
+    cachesim::CacheHierarchyConfig c;
+    c.levels = {{"L1", 16 * 1024, 4, 3.0}};
+    c.memory_latency_cycles = 80.0;
+    geometries.push_back({"tiny single level (16K)", c});
+  }
+
+  const std::vector<order::Method> methods = {order::Method::kOriginal,
+                                              order::Method::kRandom,
+                                              order::Method::kRcm,
+                                              order::Method::kGorder};
+  std::vector<std::pair<order::Method, std::vector<NodeId>>> perms;
+  for (order::Method m : methods) {
+    order::OrderingParams params;
+    params.seed = opt.seed;
+    perms.emplace_back(m, order::ComputeOrdering(g, m, params));
+  }
+
+  TablePrinter table({"Geometry", "Ordering", "L1-mr", "Mem-mr", "Stall%"});
+  for (const auto& geom : geometries) {
+    for (const auto& [m, perm] : perms) {
+      Graph h = g.Relabel(perm);
+      cachesim::CacheHierarchy caches(geom.config);
+      harness::RunWorkloadTraced(h, harness::Workload::kPr, config, perm,
+                                 caches);
+      const auto& s = caches.stats();
+      table.AddRow({geom.name, order::MethodName(m),
+                    TablePrinter::Num(100 * s.L1MissRate(), 2) + "%",
+                    TablePrinter::Num(100 * s.OverallMissRate(), 2) + "%",
+                    TablePrinter::Num(100 * s.StallFraction(), 1) + "%"});
+    }
+  }
+  if (opt.csv) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+    std::printf(
+        "\nExpected shape: Random is the worst ordering under every\n"
+        "geometry, and the locality group (Gorder/RCM/crawl-Original)\n"
+        "stays ahead of it everywhere — the paper's claim is not an\n"
+        "artefact of one machine. The gaps inside the locality group\n"
+        "widen with working-set pressure (larger --scale, smaller\n"
+        "caches); see examples/cache_explorer for the sweep.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,168 @@
+#ifndef GORDER_BENCH_BENCH_COMMON_H_
+#define GORDER_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/gorder_lib.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace gorder::bench {
+
+/// Options shared by all paper-reproduction binaries.
+///   --scale=<f>      multiplies every dataset's node/edge budget
+///   --datasets=a,b   comma-separated subset (default: all nine)
+///   --repeats=<n>    timing repetitions (median reported)
+///   --csv            machine-readable output
+///   --seed=<s>       RNG seed for generation and randomised orderings
+struct BenchOptions {
+  double scale = 1.0;
+  std::vector<std::string> datasets;
+  int repeats = 1;
+  bool csv = false;
+  std::uint64_t seed = 42;
+
+  static BenchOptions Parse(int argc, char** argv, double default_scale) {
+    Flags flags(argc, argv);
+    BenchOptions opt;
+    opt.scale = flags.GetDouble("scale", default_scale);
+    opt.repeats = static_cast<int>(flags.GetInt("repeats", 1));
+    opt.csv = flags.GetBool("csv", false);
+    opt.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+    std::string names = flags.GetString("datasets", "");
+    if (names.empty()) {
+      for (const auto& spec : gen::AllDatasets()) {
+        opt.datasets.push_back(spec.name);
+      }
+    } else {
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        std::size_t comma = names.find(',', pos);
+        opt.datasets.push_back(names.substr(
+            pos, comma == std::string::npos ? comma : comma - pos));
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    }
+    return opt;
+  }
+};
+
+/// Selects the traced-cache geometry from --cache=scaled|xeon. "scaled"
+/// (default) shrinks the hierarchy to match the scaled-down datasets so
+/// the working-set-to-cache ratio — and hence the paper's miss-rate
+/// regime — is preserved; "xeon" is the replication's literal geometry
+/// (appropriate when running with --scale large enough to spill a 20 MiB
+/// L3).
+inline cachesim::CacheHierarchyConfig CacheConfigFromFlags(
+    const Flags& flags) {
+  std::string kind = flags.GetString("cache", "scaled");
+  if (kind == "xeon") {
+    return cachesim::CacheHierarchyConfig::ReplicationXeon();
+  }
+  return cachesim::CacheHierarchyConfig::ScaledBench();
+}
+
+/// Computes an ordering and reports how long it took.
+struct TimedOrdering {
+  std::vector<NodeId> perm;
+  double seconds = 0.0;
+};
+
+inline TimedOrdering ComputeOrderingTimed(const Graph& graph,
+                                          order::Method method,
+                                          const order::OrderingParams& params) {
+  Timer timer;
+  TimedOrdering result;
+  result.perm = order::ComputeOrdering(graph, method, params);
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+inline void PrintHeader(const std::string& title, const Graph& g,
+                        const std::string& dataset) {
+  std::printf("## %s — %s (n=%s, m=%s)\n", title.c_str(), dataset.c_str(),
+              TablePrinter::Count(g.NumNodes()).c_str(),
+              TablePrinter::Count(static_cast<double>(g.NumEdges())).c_str());
+}
+
+/// The full (dataset x workload x ordering) runtime grid behind Figure 5,
+/// Figure S1 and Figure 6 (original paper's Figure 9).
+struct SpeedupGrid {
+  std::vector<std::string> datasets;
+  std::vector<order::Method> methods;
+  std::vector<harness::Workload> workloads;
+  /// times[d][w][m]: median seconds of workload w on dataset d under
+  /// ordering m.
+  std::vector<std::vector<std::vector<double>>> times;
+  /// order_seconds[d][m]: time to compute ordering m on dataset d.
+  std::vector<std::vector<double>> order_seconds;
+};
+
+/// Cost metric for the grid: deterministic modelled cycles through the
+/// scaled cache hierarchy (default; see ModelWorkloadCycles for why), or
+/// raw wall-clock (meaningful once --scale makes graphs out-size the
+/// host's physical caches).
+enum class GridMetric { kModelCycles, kWallSeconds };
+
+inline GridMetric MetricFromFlags(const Flags& flags) {
+  return flags.GetString("metric", "cycles") == "wall"
+             ? GridMetric::kWallSeconds
+             : GridMetric::kModelCycles;
+}
+
+/// Runs the whole grid. Datasets are processed one at a time; orderings
+/// are computed once per dataset and every workload is costed on the
+/// relabelled graph (modelled cycles, or median wall time of
+/// opt.repeats runs).
+inline SpeedupGrid RunSpeedupGrid(const BenchOptions& opt, int pr_iterations,
+                                  NodeId diam_sources, bool progress,
+                                  GridMetric metric = GridMetric::kModelCycles,
+                                  const cachesim::CacheHierarchyConfig&
+                                      geometry =
+                                          cachesim::CacheHierarchyConfig::
+                                              ScaledBench(),
+                                  bool extended_methods = false) {
+  SpeedupGrid grid;
+  grid.datasets = opt.datasets;
+  grid.methods = extended_methods ? order::AllMethodsExtended()
+                                  : order::AllMethods();
+  grid.workloads = harness::AllWorkloads();
+  for (const auto& name : opt.datasets) {
+    Graph g = gen::MakeDataset(name, opt.scale, opt.seed);
+    auto config = harness::MakeDefaultConfig(g, diam_sources, opt.seed);
+    config.pagerank_iterations = pr_iterations;
+    std::vector<std::vector<double>> dataset_times(
+        grid.workloads.size(), std::vector<double>(grid.methods.size(), 0));
+    std::vector<double> dataset_order_seconds(grid.methods.size(), 0);
+    for (std::size_t mi = 0; mi < grid.methods.size(); ++mi) {
+      order::OrderingParams params;
+      params.seed = opt.seed;
+      auto timed = ComputeOrderingTimed(g, grid.methods[mi], params);
+      dataset_order_seconds[mi] = timed.seconds;
+      Graph h = g.Relabel(timed.perm);
+      for (std::size_t wi = 0; wi < grid.workloads.size(); ++wi) {
+        dataset_times[wi][mi] =
+            metric == GridMetric::kWallSeconds
+                ? harness::TimeWorkload(h, grid.workloads[wi], config,
+                                        timed.perm, opt.repeats)
+                : harness::ModelWorkloadCycles(h, grid.workloads[wi],
+                                               config, timed.perm, geometry);
+      }
+      if (progress) {
+        std::fprintf(stderr, "  %s/%s done (order %.2fs)\n", name.c_str(),
+                     order::MethodName(grid.methods[mi]).c_str(),
+                     timed.seconds);
+      }
+    }
+    grid.times.push_back(std::move(dataset_times));
+    grid.order_seconds.push_back(std::move(dataset_order_seconds));
+  }
+  return grid;
+}
+
+}  // namespace gorder::bench
+
+#endif  // GORDER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,116 @@
+// Extension experiment: ordering maintenance on an evolving graph — the
+// adaptation the paper's discussion calls for. A social graph grows by
+// streamed node arrivals (each new node links to a few preferentially
+// chosen targets); we compare three maintenance policies at checkpoints:
+//
+//   append       new nodes get the next free id (no maintenance),
+//   incremental  IncrementalGorder splices arrivals next to their
+//                cluster (O(degree) per update),
+//   rebuild      full Gorder recomputation at every checkpoint (upper
+//                bound on quality, and on cost).
+//
+// Reported: PageRank modelled cycles on the current snapshot under each
+// policy's arrangement, plus cumulative maintenance seconds.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace gorder;
+  auto opt = bench::BenchOptions::Parse(argc, argv, /*default_scale=*/0.4);
+  Flags flags(argc, argv);
+  const int arrivals = static_cast<int>(flags.GetInt("arrivals", 4000));
+  const int checkpoints = static_cast<int>(flags.GetInt("checkpoints", 4));
+  const int links = static_cast<int>(flags.GetInt("links", 4));
+  const auto geometry = bench::CacheConfigFromFlags(flags);
+
+  Graph base = gen::MakeDataset("flickr", opt.scale, opt.seed);
+  bench::PrintHeader("Extension: dynamic-graph ordering maintenance", base,
+                     "flickr");
+  std::printf("%d arrivals, %d links each, %d checkpoints\n\n", arrivals,
+              links, checkpoints);
+
+  order::IncrementalGorder inc(base);
+  DynamicGraph append(base);
+  Rng rng(opt.seed);
+  double incremental_cost = 0.0;
+  double rebuild_cost = 0.0;
+
+  // Preferential anchors: sample from a degree-weighted pool; the
+  // remaining links close triangles around the anchor (triadic closure,
+  // how social graphs actually grow) so arrivals join real communities.
+  std::vector<NodeId> pool;
+  for (NodeId v = 0; v < base.NumNodes(); ++v) {
+    for (NodeId i = 0; i < 1 + base.InDegree(v); ++i) pool.push_back(v);
+  }
+
+  TablePrinter table({"checkpoint", "nodes", "edges", "PR append",
+                      "PR incremental", "PR rebuild", "incr cost(s)",
+                      "rebuild cost(s)", "staleness"});
+  auto pr_cycles = [&](const Graph& g, const std::vector<NodeId>& perm) {
+    harness::WorkloadConfig config;
+    config.pagerank_iterations = 5;
+    config.sp_source_logical = 0;
+    return harness::ModelWorkloadCycles(g.Relabel(perm),
+                                        harness::Workload::kPr, config,
+                                        perm, geometry);
+  };
+
+  for (int cp = 1; cp <= checkpoints; ++cp) {
+    for (int i = 0; i < arrivals / checkpoints; ++i) {
+      Timer t;
+      NodeId v = inc.AddNode();
+      NodeId va = append.AddNode();
+      GORDER_CHECK(v == va);
+      NodeId anchor = pool[rng.Uniform(pool.size())];
+      for (int e = 0; e < links; ++e) {
+        NodeId u = anchor;
+        if (e > 0) {
+          // Friend-of-friend: link to one of the anchor's neighbours.
+          const auto& fof = append.OutNeighbors(anchor);
+          const auto& fof_in = append.InNeighbors(anchor);
+          std::size_t total = fof.size() + fof_in.size();
+          if (total > 0) {
+            std::size_t pick = rng.Uniform(total);
+            u = pick < fof.size() ? fof[pick]
+                                  : fof_in[pick - fof.size()];
+          }
+        }
+        if (u == v) continue;
+        Timer ti;
+        inc.AddEdge(v, u);
+        incremental_cost += ti.Seconds();
+        append.AddEdge(v, u);
+        pool.push_back(u);
+      }
+      pool.push_back(v);
+      (void)t;
+    }
+    Graph snapshot = append.ToCsr();
+    auto append_perm = IdentityPermutation(snapshot.NumNodes());
+    auto inc_perm = inc.CurrentPermutation();
+    Timer tr;
+    auto rebuilt_perm = order::GorderOrder(snapshot, {});
+    rebuild_cost += tr.Seconds();
+    table.AddRow(
+        {std::to_string(cp), TablePrinter::Count(snapshot.NumNodes()),
+         TablePrinter::Count(static_cast<double>(snapshot.NumEdges())),
+         TablePrinter::Count(pr_cycles(snapshot, append_perm)),
+         TablePrinter::Count(pr_cycles(snapshot, inc_perm)),
+         TablePrinter::Count(pr_cycles(snapshot, rebuilt_perm)),
+         TablePrinter::Num(incremental_cost, 3),
+         TablePrinter::Num(rebuild_cost, 3),
+         TablePrinter::Num(inc.StalenessRatio(), 3)});
+  }
+  if (opt.csv) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+    std::printf(
+        "\nExpected shape: incremental maintenance recovers most of the\n"
+        "gap between append order and a fresh Gorder at a tiny fraction\n"
+        "of the rebuild cost; its advantage decays as staleness grows —\n"
+        "quantifying when the paper's \"recompute from scratch\" is\n"
+        "actually worth it.\n");
+  }
+  return 0;
+}

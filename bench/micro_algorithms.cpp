@@ -1,0 +1,69 @@
+// Microbenchmarks: the nine workloads on a fixed mid-size graph, under
+// Original vs Gorder numbering — the per-workload view of the paper's
+// speedup claim, in google-benchmark form.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/algorithms.h"
+#include "gen/datasets.h"
+#include "harness/experiment.h"
+#include "order/ordering.h"
+
+namespace gorder {
+namespace {
+
+struct Setup {
+  Graph original;
+  Graph reordered;
+  std::vector<NodeId> identity;
+  std::vector<NodeId> perm;
+  harness::WorkloadConfig config;
+};
+
+const Setup& SharedSetup() {
+  static const Setup* kSetup = [] {
+    auto* s = new Setup();
+    s->original = gen::MakeDataset("wiki", 0.15);
+    s->identity = IdentityPermutation(s->original.NumNodes());
+    s->perm = order::ComputeOrdering(s->original, order::Method::kGorder, {});
+    s->reordered = s->original.Relabel(s->perm);
+    s->config = harness::MakeDefaultConfig(s->original, 3);
+    s->config.pagerank_iterations = 10;
+    return s;
+  }();
+  return *kSetup;
+}
+
+void RunWorkloadBench(benchmark::State& state, harness::Workload w,
+                      bool gorder) {
+  const Setup& s = SharedSetup();
+  const Graph& g = gorder ? s.reordered : s.original;
+  const auto& perm = gorder ? s.perm : s.identity;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness::RunWorkload(g, w, s.config, perm));
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+
+#define GORDER_WORKLOAD_BENCH(name, workload)                       \
+  void BM_##name##_Original(benchmark::State& s) {                  \
+    RunWorkloadBench(s, harness::Workload::workload, false);        \
+  }                                                                 \
+  void BM_##name##_Gorder(benchmark::State& s) {                    \
+    RunWorkloadBench(s, harness::Workload::workload, true);         \
+  }                                                                 \
+  BENCHMARK(BM_##name##_Original);                                  \
+  BENCHMARK(BM_##name##_Gorder)
+
+GORDER_WORKLOAD_BENCH(Nq, kNq);
+GORDER_WORKLOAD_BENCH(Bfs, kBfs);
+GORDER_WORKLOAD_BENCH(Dfs, kDfs);
+GORDER_WORKLOAD_BENCH(Scc, kScc);
+GORDER_WORKLOAD_BENCH(Sp, kSp);
+GORDER_WORKLOAD_BENCH(Pr, kPr);
+GORDER_WORKLOAD_BENCH(Ds, kDs);
+GORDER_WORKLOAD_BENCH(Kcore, kKcore);
+GORDER_WORKLOAD_BENCH(Diam, kDiam);
+
+}  // namespace
+}  // namespace gorder

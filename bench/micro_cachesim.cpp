@@ -1,0 +1,50 @@
+// Microbenchmarks: overhead of the software cache hierarchy per access,
+// for sequential and random streams — documents the cost of the traced
+// workload variants.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cachesim/cache.h"
+#include "util/rng.h"
+
+namespace gorder::cachesim {
+namespace {
+
+void BM_SequentialAccess(benchmark::State& state) {
+  CacheHierarchy h;
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    h.AccessLine(line++ & 0xFFFFF);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SequentialAccess);
+
+void BM_RandomAccess(benchmark::State& state) {
+  CacheHierarchy h;
+  Rng rng(1);
+  std::vector<std::uint64_t> lines(1 << 16);
+  for (auto& l : lines) l = rng.Uniform(1 << 22);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    h.AccessLine(lines[i++ & (lines.size() - 1)]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomAccess);
+
+void BM_TracerTouchSpan(benchmark::State& state) {
+  CacheHierarchy h;
+  CacheTracer t(&h);
+  std::vector<std::uint32_t> data(1 << 14);
+  for (auto _ : state) {
+    t.Touch(data.data(), data.size());
+  }
+  state.SetItemsProcessed(state.iterations() * (data.size() * 4 / 64));
+}
+BENCHMARK(BM_TracerTouchSpan);
+
+}  // namespace
+}  // namespace gorder::cachesim

@@ -1,0 +1,63 @@
+// Microbenchmarks: gap+varint encode/decode throughput and the effect of
+// ordering on decode speed (better locality -> smaller varints -> fewer
+// bytes to chew through).
+
+#include <benchmark/benchmark.h>
+
+#include "compress/compressed_graph.h"
+#include "gen/datasets.h"
+#include "order/ordering.h"
+
+namespace gorder::compress {
+namespace {
+
+const Graph& BaseGraph() {
+  static const Graph* kGraph =
+      new Graph(gen::MakeDataset("sdarc", 0.15));
+  return *kGraph;
+}
+
+void BM_Encode(benchmark::State& state) {
+  const Graph& g = BaseGraph();
+  for (auto _ : state) {
+    auto cg = CompressedGraph::FromGraph(g);
+    benchmark::DoNotOptimize(cg.PayloadBytes());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_Encode);
+
+void BM_DecodeScan(benchmark::State& state) {
+  // Ordering affects the decode stream length: compare Random vs Gorder.
+  const Graph& g = BaseGraph();
+  order::OrderingParams params;
+  auto method = state.range(0) == 0 ? order::Method::kRandom
+                                    : order::Method::kGorder;
+  auto perm = order::ComputeOrdering(g, method, params);
+  Graph h = g.Relabel(perm);
+  auto cg = CompressedGraph::FromGraph(h);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (NodeId v = 0; v < cg.NumNodes(); ++v) {
+      cg.ForEachOutNeighbor(v, [&](NodeId w) { sum += w; });
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * cg.NumEdges());
+  state.SetLabel(method == order::Method::kRandom ? "Random" : "Gorder");
+}
+BENCHMARK(BM_DecodeScan)->Arg(0)->Arg(1);
+
+void BM_DecompressFull(benchmark::State& state) {
+  const Graph& g = BaseGraph();
+  auto cg = CompressedGraph::FromGraph(g);
+  for (auto _ : state) {
+    Graph back = cg.Decompress();
+    benchmark::DoNotOptimize(back.NumEdges());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_DecompressFull);
+
+}  // namespace
+}  // namespace gorder::compress

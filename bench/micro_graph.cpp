@@ -1,0 +1,76 @@
+// Microbenchmarks for CSR construction, relabelling and generators.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace gorder {
+namespace {
+
+void BM_CsrBuild(benchmark::State& state) {
+  Rng rng(1);
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Graph g0 = gen::ErdosRenyi(n, static_cast<EdgeId>(n) * 8, rng);
+  auto edges = g0.ToEdges();
+  for (auto _ : state) {
+    Graph g = Graph::FromEdges(n, edges, true, true);
+    benchmark::DoNotOptimize(g.NumEdges());
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_CsrBuild)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_Relabel(benchmark::State& state) {
+  Rng rng(2);
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Graph g = gen::ErdosRenyi(n, static_cast<EdgeId>(n) * 8, rng);
+  auto perm = IdentityPermutation(n);
+  rng.Shuffle(perm);
+  for (auto _ : state) {
+    Graph h = g.Relabel(perm);
+    benchmark::DoNotOptimize(h.NumEdges());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_Relabel)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_NeighborScan(benchmark::State& state) {
+  Rng rng(3);
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Graph g = gen::Rmat({.scale = 14, .num_edges = static_cast<EdgeId>(n) * 8},
+                      rng);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      for (NodeId w : g.OutNeighbors(v)) sum += w;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_NeighborScan)->Arg(1 << 14);
+
+void BM_GenerateRmat(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(4);
+    Graph g = gen::Rmat({.scale = 13, .num_edges = 100000}, rng);
+    benchmark::DoNotOptimize(g.NumEdges());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_GenerateRmat);
+
+void BM_GenerateCopying(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(5);
+    Graph g = gen::CopyingModel(10000, 8, 0.6, rng);
+    benchmark::DoNotOptimize(g.NumEdges());
+  }
+  state.SetItemsProcessed(state.iterations() * 80000);
+}
+BENCHMARK(BM_GenerateCopying);
+
+}  // namespace
+}  // namespace gorder

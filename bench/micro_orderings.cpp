@@ -1,0 +1,68 @@
+// Microbenchmarks: throughput of each ordering method on a mid-size
+// R-MAT graph (edges/second is the figure of merit; compare Table 2).
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "order/gorder.h"
+#include "order/ordering.h"
+#include "util/rng.h"
+
+namespace gorder::order {
+namespace {
+
+const Graph& SharedGraph() {
+  static const Graph* kGraph = [] {
+    Rng rng(7);
+    return new Graph(gen::Rmat({.scale = 14, .num_edges = 200000}, rng));
+  }();
+  return *kGraph;
+}
+
+void RunMethod(benchmark::State& state, Method method) {
+  const Graph& g = SharedGraph();
+  OrderingParams params;
+  params.sa_steps = g.NumEdges() / 4;  // keep annealing iterations bounded
+  for (auto _ : state) {
+    auto perm = ComputeOrdering(g, method, params);
+    benchmark::DoNotOptimize(perm.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+
+void BM_OrderRandom(benchmark::State& s) { RunMethod(s, Method::kRandom); }
+void BM_OrderInDegSort(benchmark::State& s) {
+  RunMethod(s, Method::kInDegSort);
+}
+void BM_OrderChDfs(benchmark::State& s) { RunMethod(s, Method::kChDfs); }
+void BM_OrderRcm(benchmark::State& s) { RunMethod(s, Method::kRcm); }
+void BM_OrderSlashBurn(benchmark::State& s) {
+  RunMethod(s, Method::kSlashBurn);
+}
+void BM_OrderLdg(benchmark::State& s) { RunMethod(s, Method::kLdg); }
+void BM_OrderMinLa(benchmark::State& s) { RunMethod(s, Method::kMinLa); }
+void BM_OrderGorder(benchmark::State& s) { RunMethod(s, Method::kGorder); }
+
+BENCHMARK(BM_OrderRandom);
+BENCHMARK(BM_OrderInDegSort);
+BENCHMARK(BM_OrderChDfs);
+BENCHMARK(BM_OrderRcm);
+BENCHMARK(BM_OrderSlashBurn);
+BENCHMARK(BM_OrderLdg);
+BENCHMARK(BM_OrderMinLa);
+BENCHMARK(BM_OrderGorder);
+
+void BM_GorderWindow(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  OrderingParams params;
+  params.window = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    auto perm = GorderOrder(g, params);
+    benchmark::DoNotOptimize(perm.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_GorderWindow)->Arg(1)->Arg(5)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace gorder::order

@@ -1,0 +1,48 @@
+// Microbenchmarks for the unit heap, the data structure at the core of
+// Gorder's near-linear greedy.
+
+#include <benchmark/benchmark.h>
+
+#include "order/unit_heap.h"
+#include "util/rng.h"
+
+namespace gorder::order {
+namespace {
+
+void BM_UnitHeapIncrement(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  UnitHeap heap(n);
+  Rng rng(1);
+  std::vector<NodeId> targets(1 << 12);
+  for (auto& t : targets) t = static_cast<NodeId>(rng.Uniform(n));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    heap.Increment(targets[i++ & (targets.size() - 1)]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnitHeapIncrement)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_UnitHeapMixedOps(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    UnitHeap heap(n);
+    state.ResumeTiming();
+    // Increment a random walk of keys, then drain by ExtractMax —
+    // Gorder's exact op mix.
+    for (NodeId i = 0; i < n; ++i) {
+      heap.Increment(static_cast<NodeId>(rng.Uniform(n)));
+      heap.Increment(static_cast<NodeId>(rng.Uniform(n)));
+    }
+    NodeId drained = 0;
+    while (heap.ExtractMax() != kInvalidNode) ++drained;
+    benchmark::DoNotOptimize(drained);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 3);
+}
+BENCHMARK(BM_UnitHeapMixedOps)->Arg(1 << 10)->Arg(1 << 14);
+
+}  // namespace
+}  // namespace gorder::order

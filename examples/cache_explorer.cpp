@@ -1,0 +1,57 @@
+// Scenario: capacity planning with the cache simulator.
+//
+// Given a workload and a graph, at what size does ordering start to
+// matter, and how big a cache do you need before it stops mattering?
+// This example sweeps dataset scale against the simulated hierarchy and
+// prints the PageRank miss-rate gap between Random and Gorder — the
+// "ordering opportunity" — at each point. It reproduces, in one table,
+// the intuition behind the paper: the opportunity appears exactly when
+// per-node state outgrows the caches.
+
+#include <cstdio>
+
+#include "core/gorder_lib.h"
+
+int main(int argc, char** argv) {
+  using namespace gorder;
+  Flags flags(argc, argv);
+  const std::string dataset = flags.GetString("dataset", "wiki");
+
+  std::printf(
+      "cache explorer: PageRank miss rates, Random vs Gorder, dataset=%s\n"
+      "(simulated hierarchy: L1 8K / L2 32K / L3 256K, 64B lines)\n\n",
+      dataset.c_str());
+  std::printf("%8s %8s %10s | %8s %8s | %8s %8s | %12s\n", "scale", "nodes",
+              "state(KB)", "rnd L1mr", "go L1mr", "rnd mem%", "go mem%",
+              "opportunity");
+
+  for (double scale : {0.05, 0.1, 0.2, 0.4, 0.8, 1.6}) {
+    Graph g = gen::MakeDataset(dataset, scale);
+    auto run = [&](order::Method m) {
+      auto perm = order::ComputeOrdering(g, m, {});
+      Graph h = g.Relabel(perm);
+      cachesim::CacheHierarchy caches(
+          cachesim::CacheHierarchyConfig::ScaledBench());
+      algo::PageRankTraced(h, 2, 0.85, caches);
+      return caches.stats();
+    };
+    auto random = run(order::Method::kRandom);
+    auto gorder = run(order::Method::kGorder);
+    double state_kb = g.NumNodes() * 8.0 / 1024.0;  // one contrib array
+    double opportunity =
+        (random.stall_cycles - gorder.stall_cycles) /
+        (random.compute_cycles + random.stall_cycles);
+    std::printf("%8.2f %8u %10.0f | %7.1f%% %7.1f%% | %7.2f%% %7.2f%% | "
+                "%10.1f%%\n",
+                scale, g.NumNodes(), state_kb,
+                100 * random.L1MissRate(), 100 * gorder.L1MissRate(),
+                100 * random.OverallMissRate(),
+                100 * gorder.OverallMissRate(), 100 * opportunity);
+  }
+  std::printf(
+      "\nReading: while per-node state fits in L1/L2 the two orderings\n"
+      "are indistinguishable; once it spills L3 the stall-cycle gap\n"
+      "(\"opportunity\") opens — that is the regime the paper's datasets\n"
+      "occupy on real hardware, and where Gorder pays off.\n");
+  return 0;
+}

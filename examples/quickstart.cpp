@@ -1,0 +1,82 @@
+// Quickstart: the 60-second tour of the library.
+//
+//   1. obtain a graph (generate one here; ReadEdgeList works for files),
+//   2. compute the Gorder permutation,
+//   3. relabel the graph,
+//   4. run an algorithm and see the speedup + cache effect.
+//
+// Build & run:  ./examples/quickstart [--edges=<path>]
+
+#include <cstdio>
+
+#include "core/gorder_lib.h"
+
+int main(int argc, char** argv) {
+  using namespace gorder;
+  Flags flags(argc, argv);
+
+  // 1. A graph: from file if given, otherwise a synthetic social network.
+  Graph graph;
+  std::string path = flags.GetString("edges", "");
+  if (!path.empty()) {
+    IoResult r = ReadEdgeList(path, &graph);
+    if (!r.ok) {
+      std::fprintf(stderr, "error: %s\n", r.error.c_str());
+      return 1;
+    }
+  } else {
+    graph = gen::MakeDataset("flickr", 0.5);
+  }
+  std::printf("graph: %u nodes, %llu edges\n", graph.NumNodes(),
+              static_cast<unsigned long long>(graph.NumEdges()));
+
+  // 2. Compute the Gorder permutation (window w = 5, the paper default).
+  order::OrderingParams params;
+  params.window = 5;
+  Timer order_timer;
+  std::vector<NodeId> perm =
+      order::ComputeOrdering(graph, order::Method::kGorder, params);
+  std::printf("gorder computed in %.3fs\n", order_timer.Seconds());
+
+  // 3. Relabel: node v of the input becomes node perm[v].
+  Graph fast = graph.Relabel(perm);
+
+  // 4. PageRank on both versions.
+  const int iters = 30;
+  Timer t_before;
+  auto pr_before = algo::PageRank(graph, iters);
+  double before = t_before.Seconds();
+  Timer t_after;
+  auto pr_after = algo::PageRank(fast, iters);
+  double after = t_after.Seconds();
+  std::printf("PageRank(%d iters): original order %.3fs, Gorder %.3fs "
+              "(%.0f%% faster)\n",
+              iters, before, after, 100.0 * (1.0 - after / before));
+
+  // Scores are the same ranking, just permuted.
+  NodeId top_before = 0, top_after = 0;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    if (pr_before.rank[v] > pr_before.rank[top_before]) top_before = v;
+    if (pr_after.rank[v] > pr_after.rank[top_after]) top_after = v;
+  }
+  std::printf("top-ranked node: %u (maps to %u after relabel) — %s\n",
+              top_before, perm[top_before],
+              perm[top_before] == top_after ? "consistent" : "INCONSISTENT");
+
+  // Why it is faster: replay the same workload through the simulated
+  // cache hierarchy and compare miss rates.
+  auto trace = [&](const Graph& g) {
+    cachesim::CacheHierarchy caches(
+        cachesim::CacheHierarchyConfig::ScaledBench());
+    algo::PageRankTraced(g, 2, 0.85, caches);
+    return caches.stats();
+  };
+  auto s_before = trace(graph);
+  auto s_after = trace(fast);
+  std::printf("simulated L1 miss rate: %.1f%% -> %.1f%%; "
+              "memory miss rate: %.2f%% -> %.2f%%\n",
+              100 * s_before.L1MissRate(), 100 * s_after.L1MissRate(),
+              100 * s_before.OverallMissRate(),
+              100 * s_after.OverallMissRate());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Scenario: an online social-recommendation service.
+//
+// A "people you may know" backend runs the same primitives over and over:
+// friends-of-friends expansions (the NQ access pattern), influence scores
+// (PageRank) and community cores (K-core). Reordering the graph once
+// makes every subsequent query cheaper — but computing a good ordering
+// costs time. This example quantifies the trade-off the paper's §4
+// discussion (and Balaji & Lucia, IISWC 2018) raises: after how many
+// query batches does each ordering pay for itself?
+
+#include <cstdio>
+
+#include "core/gorder_lib.h"
+
+namespace {
+
+// One service "batch": a FoF expansion over all users, one PR refresh,
+// one K-core refresh. Cost is the modelled execution time (simulated
+// cache cycles at 2.6 GHz): at this demo scale the graph fits in the
+// host's physical caches, so wall-clock cannot show the effect that
+// dominates at production scale — the simulator restores that regime
+// (see cache_explorer for the sweep that demonstrates the crossover).
+double RunBatch(const gorder::Graph& g) {
+  gorder::cachesim::CacheHierarchy caches(
+      gorder::cachesim::CacheHierarchyConfig::ScaledBench());
+  auto nq = gorder::algo::NqTraced(g, caches);
+  auto pr = gorder::algo::PageRankTraced(g, 10, 0.85, caches);
+  auto core = gorder::algo::KCoreTraced(g, caches);
+  volatile double sink =
+      static_cast<double>(nq.checksum) + pr.total_mass + core.max_core;
+  (void)sink;
+  const double kHz = 2.6e9;
+  return (caches.stats().compute_cycles + caches.stats().stall_cycles) /
+         kHz;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gorder;
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 1.0);
+  const int batches = static_cast<int>(flags.GetInt("batches", 5));
+
+  Graph g = gen::MakeDataset("pokec", scale);
+  std::printf("social graph: %u users, %llu follows\n", g.NumNodes(),
+              static_cast<unsigned long long>(g.NumEdges()));
+
+  double baseline = 0.0;
+  for (int b = 0; b < batches; ++b) baseline += RunBatch(g);
+  baseline /= batches;
+  std::printf("baseline batch time (original order, modelled): %.1fms\n\n",
+              baseline * 1e3);
+
+  std::printf("%-12s %12s %12s %10s %18s\n", "ordering", "order cost",
+              "batch time", "speedup", "break-even batches");
+  for (order::Method m :
+       {order::Method::kInDegSort, order::Method::kRcm,
+        order::Method::kChDfs, order::Method::kSlashBurn,
+        order::Method::kGorder}) {
+    Timer t;
+    auto perm = order::ComputeOrdering(g, m, {});
+    double order_cost = t.Seconds();
+    Graph h = g.Relabel(perm);
+    double batch = 0.0;
+    for (int b = 0; b < batches; ++b) batch += RunBatch(h);
+    batch /= batches;
+    double saved = baseline - batch;
+    std::string break_even =
+        saved > 1e-6
+            ? std::to_string(static_cast<long>(order_cost / saved) + 1)
+            : "never";
+    std::printf("%-12s %11.2fs %10.1fms %9.2fx %18s\n",
+                order::MethodName(m).c_str(), order_cost, batch * 1e3,
+                baseline / batch, break_even.c_str());
+  }
+  std::printf(
+      "\nReading: traversal orderings (RCM, ChDFS) are free and pay back\n"
+      "immediately; pure degree sorts can even hurt on community-heavy\n"
+      "social graphs; Gorder gives the largest per-batch speedup but\n"
+      "needs a longer-lived service to amortise its construction — the\n"
+      "paper's own caveat (\"only amortised if algorithms run thousands\n"
+      "of times\" at full scale).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Scenario: node orderings as a preprocessing step for graph compression.
+//
+// The paper's discussion (§4 of the replication) points out that gap-based
+// compression schemes (WebGraph, Boldi & Vigna 2004) store each adjacency
+// list as deltas between consecutive neighbour ids, so an ordering that
+// gives neighbours nearby ids directly shrinks the encoding. A good proxy
+// for the encoded size is sum(log2 gap) over edges — exactly the MinLogA
+// energy this library computes.
+//
+// This example estimates bits-per-edge for a web graph under every
+// ordering and shows which orderings double as compression boosters.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/gorder_lib.h"
+
+namespace {
+
+// Elias-gamma-style cost model: encoding a gap g >= 1 costs about
+// 2*floor(log2 g) + 1 bits; the first neighbour of each list is encoded
+// against the source id.
+double EstimateBitsPerEdge(const gorder::Graph& g) {
+  using gorder::NodeId;
+  double bits = 0.0;
+  std::uint64_t edges = 0;
+  std::vector<NodeId> nbrs;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    auto span = g.OutNeighbors(v);
+    if (span.empty()) continue;
+    nbrs.assign(span.begin(), span.end());
+    std::sort(nbrs.begin(), nbrs.end());
+    NodeId prev = v;
+    for (NodeId w : nbrs) {
+      std::uint64_t gap =
+          1 + (w > prev ? w - prev : prev - w);  // signed-gap magnitude
+      bits += 2 * std::floor(std::log2(static_cast<double>(gap))) + 2;
+      prev = w;
+      ++edges;
+    }
+  }
+  return edges == 0 ? 0.0 : bits / static_cast<double>(edges);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gorder;
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.5);
+  const std::string dataset = flags.GetString("dataset", "sdarc");
+
+  Graph g = gen::MakeDataset(dataset, scale);
+  std::printf("web graph '%s': %u nodes, %llu edges\n", dataset.c_str(),
+              g.NumNodes(), static_cast<unsigned long long>(g.NumEdges()));
+  std::printf("%-12s %14s %16s %14s\n", "ordering", "bits/edge",
+              "sum log2 gaps", "order time");
+
+  for (order::Method m : order::AllMethods()) {
+    order::OrderingParams params;
+    Timer t;
+    auto perm = order::ComputeOrdering(g, m, params);
+    double order_s = t.Seconds();
+    Graph h = g.Relabel(perm);
+    std::printf("%-12s %14.2f %16.3g %13.2fs\n",
+                order::MethodName(m).c_str(), EstimateBitsPerEdge(h),
+                LogArrangementCost(h), order_s);
+  }
+  std::printf(
+      "\nReading: lower bits/edge = better compression. Locality-seeking\n"
+      "orderings (Gorder, RCM, MinLogA) compress far better than Random;\n"
+      "the same property that reduces cache misses reduces gap entropy.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "algo/algorithms.h"
+
+#include "algo/detail/bfs_impl.h"
+#include "algo/detail/diameter_impl.h"
+#include "algo/detail/dfs_impl.h"
+#include "algo/detail/domset_impl.h"
+#include "algo/detail/kcore_impl.h"
+#include "algo/detail/nq_impl.h"
+#include "algo/detail/pagerank_impl.h"
+#include "algo/detail/scc_impl.h"
+#include "algo/detail/sp_impl.h"
+#include "cachesim/cache.h"
+
+namespace gorder::algo {
+
+namespace {
+cachesim::NullTracer& NoTrace() {
+  static cachesim::NullTracer tracer;
+  return tracer;
+}
+}  // namespace
+
+NqResult Nq(const Graph& graph) { return detail::NqImpl(graph, NoTrace()); }
+
+BfsResult Bfs(const Graph& graph, NodeId source) {
+  return detail::BfsImpl(graph, source, NoTrace());
+}
+
+BfsResult BfsForest(const Graph& graph) {
+  return detail::BfsForestImpl(graph, NoTrace());
+}
+
+DfsResult DfsForest(const Graph& graph) {
+  return detail::DfsForestImpl(graph, NoTrace());
+}
+
+SccResult Scc(const Graph& graph) { return detail::SccImpl(graph, NoTrace()); }
+
+SpResult Sp(const Graph& graph, NodeId source) {
+  return detail::SpImpl(graph, source, NoTrace());
+}
+
+PageRankResult PageRank(const Graph& graph, int iterations, double damping) {
+  return detail::PageRankImpl(graph, iterations, damping, NoTrace());
+}
+
+DominatingSetResult DominatingSet(const Graph& graph) {
+  return detail::DomSetImpl(graph, NoTrace());
+}
+
+KCoreResult KCore(const Graph& graph) {
+  return detail::KCoreImpl(graph, NoTrace());
+}
+
+DiameterResult Diameter(const Graph& graph,
+                        const std::vector<NodeId>& sources) {
+  return detail::DiameterImpl(graph, sources, NoTrace());
+}
+
+bool IsDominatingSet(const Graph& graph, const std::vector<bool>& in_set) {
+  if (in_set.size() != graph.NumNodes()) return false;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    if (in_set[v]) continue;
+    bool covered = false;
+    for (NodeId w : graph.OutNeighbors(v)) {
+      if (in_set[w]) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      for (NodeId w : graph.InNeighbors(v)) {
+        if (in_set[w]) {
+          covered = true;
+          break;
+        }
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace gorder::algo

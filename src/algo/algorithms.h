@@ -1,0 +1,47 @@
+#ifndef GORDER_ALGO_ALGORITHMS_H_
+#define GORDER_ALGO_ALGORITHMS_H_
+
+#include <vector>
+
+#include "algo/results.h"
+#include "graph/graph.h"
+
+namespace gorder::algo {
+
+/// The nine benchmark workloads of the paper (replication §2.1), untraced
+/// (full speed, used for all timing experiments).
+///
+/// Determinism: every function is a pure function of the graph and its
+/// explicit arguments — ties always break by ascending node id, so a run
+/// is exactly reproducible. Functions that take node arguments interpret
+/// them in the graph's *current* numbering; when comparing across
+/// orderings, map logical sources through the ordering permutation.
+
+NqResult Nq(const Graph& graph);
+
+BfsResult Bfs(const Graph& graph, NodeId source);
+BfsResult BfsForest(const Graph& graph);
+
+DfsResult DfsForest(const Graph& graph);
+
+SccResult Scc(const Graph& graph);
+
+SpResult Sp(const Graph& graph, NodeId source);
+
+PageRankResult PageRank(const Graph& graph, int iterations = 100,
+                        double damping = 0.85);
+
+DominatingSetResult DominatingSet(const Graph& graph);
+
+KCoreResult KCore(const Graph& graph);
+
+DiameterResult Diameter(const Graph& graph,
+                        const std::vector<NodeId>& sources);
+
+/// Checks that `ds` covers every node of `graph` (self or an undirected
+/// neighbour in the set). Exposed for tests and examples.
+bool IsDominatingSet(const Graph& graph, const std::vector<bool>& in_set);
+
+}  // namespace gorder::algo
+
+#endif  // GORDER_ALGO_ALGORITHMS_H_

@@ -1,0 +1,74 @@
+#ifndef GORDER_ALGO_DETAIL_BFS_IMPL_H_
+#define GORDER_ALGO_DETAIL_BFS_IMPL_H_
+
+#include <vector>
+
+#include "algo/results.h"
+#include "graph/graph.h"
+#include "util/logging.h"
+
+namespace gorder::algo::detail {
+
+/// Expands one BFS tree rooted at `src` into `result` (levels relative to
+/// the root). Nodes already levelled are skipped, so repeated calls build
+/// a forest. `queue` is caller-provided scratch to avoid reallocation.
+template <class Tracer>
+void BfsFromImpl(const Graph& graph, NodeId src, Tracer& tracer,
+                 BfsResult& result, std::vector<NodeId>& queue) {
+  auto& level = result.level;
+  GORDER_DCHECK(level.size() == graph.NumNodes());
+  if (level[src] != kInfDistance) return;
+  const auto& off = graph.out_offsets();
+  queue.clear();
+  queue.push_back(src);
+  level[src] = 0;
+  tracer.Touch(&level[src]);
+  ++result.num_reached;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    NodeId u = queue[head];
+    tracer.Touch(&queue[head]);
+    tracer.Touch(&off[u], 2);
+    std::uint32_t next_level = level[u] + 1;
+    auto nbrs = graph.OutNeighbors(u);
+    if (!nbrs.empty()) tracer.Touch(nbrs.data(), nbrs.size());
+    for (NodeId v : nbrs) {
+      tracer.Touch(&level[v]);
+      if (level[v] == kInfDistance) {
+        level[v] = next_level;
+        result.sum_levels += next_level;
+        ++result.num_reached;
+        queue.push_back(v);
+      }
+    }
+  }
+}
+
+/// Single-source BFS.
+template <class Tracer>
+BfsResult BfsImpl(const Graph& graph, NodeId src, Tracer& tracer) {
+  BfsResult result;
+  result.level.assign(graph.NumNodes(), kInfDistance);
+  std::vector<NodeId> queue;
+  queue.reserve(graph.NumNodes());
+  BfsFromImpl(graph, src, tracer, result, queue);
+  return result;
+}
+
+/// Full-coverage BFS forest: roots are taken in ascending node-id order
+/// ("lexicographic", replication §2.1), so every node and edge is
+/// processed exactly once regardless of the graph's numbering.
+template <class Tracer>
+BfsResult BfsForestImpl(const Graph& graph, Tracer& tracer) {
+  BfsResult result;
+  result.level.assign(graph.NumNodes(), kInfDistance);
+  std::vector<NodeId> queue;
+  queue.reserve(graph.NumNodes());
+  for (NodeId src = 0; src < graph.NumNodes(); ++src) {
+    BfsFromImpl(graph, src, tracer, result, queue);
+  }
+  return result;
+}
+
+}  // namespace gorder::algo::detail
+
+#endif  // GORDER_ALGO_DETAIL_BFS_IMPL_H_

@@ -1,0 +1,63 @@
+#ifndef GORDER_ALGO_DETAIL_DFS_IMPL_H_
+#define GORDER_ALGO_DETAIL_DFS_IMPL_H_
+
+#include <vector>
+
+#include "algo/results.h"
+#include "graph/graph.h"
+
+namespace gorder::algo::detail {
+
+/// Iterative depth-first search. Children are explored in ascending
+/// neighbour-id order (CSR lists are sorted), matching the replication's
+/// "lexicographic" selection. Roots in ascending id order form a forest.
+template <class Tracer>
+DfsResult DfsForestImpl(const Graph& graph, Tracer& tracer) {
+  const NodeId n = graph.NumNodes();
+  const auto& off = graph.out_offsets();
+  const auto& nbr = graph.out_neighbors();
+  DfsResult result;
+  result.discovery.assign(n, kInvalidNode);
+  NodeId clock = 0;
+
+  struct Frame {
+    NodeId node;
+    EdgeId cursor;
+  };
+  std::vector<Frame> stack;
+  stack.reserve(1024);
+
+  for (NodeId root = 0; root < n; ++root) {
+    tracer.Touch(&result.discovery[root]);
+    if (result.discovery[root] != kInvalidNode) continue;
+    result.discovery[root] = clock++;
+    ++result.num_reached;
+    tracer.Touch(&off[root], 2);
+    stack.push_back({root, off[root]});
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      tracer.Touch(&top);
+      if (top.cursor == off[top.node + 1]) {
+        // Postorder event: fold the node into the finish checksum.
+        result.finish_checksum =
+            result.finish_checksum * 1099511628211ULL + top.node;
+        stack.pop_back();
+        continue;
+      }
+      NodeId v = nbr[top.cursor++];
+      tracer.Touch(&nbr[top.cursor - 1]);
+      tracer.Touch(&result.discovery[v]);
+      if (result.discovery[v] == kInvalidNode) {
+        result.discovery[v] = clock++;
+        ++result.num_reached;
+        tracer.Touch(&off[v], 2);
+        stack.push_back({v, off[v]});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gorder::algo::detail
+
+#endif  // GORDER_ALGO_DETAIL_DFS_IMPL_H_

@@ -1,0 +1,35 @@
+#ifndef GORDER_ALGO_DETAIL_DIAMETER_IMPL_H_
+#define GORDER_ALGO_DETAIL_DIAMETER_IMPL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/detail/sp_impl.h"
+#include "algo/results.h"
+#include "graph/graph.h"
+
+namespace gorder::algo::detail {
+
+/// Diameter lower bound exactly as the paper runs it: repeat the SP
+/// (Bellman-Ford) workload from each given source and report the largest
+/// finite distance seen. The paper uses 5000 random sources on its
+/// testbed; source count is a parameter here because, per the
+/// replication, "accuracy and efficiency of the algorithm are not key" —
+/// the workload's memory behaviour is.
+template <class Tracer>
+DiameterResult DiameterImpl(const Graph& graph,
+                            const std::vector<NodeId>& sources,
+                            Tracer& tracer) {
+  DiameterResult result;
+  for (NodeId src : sources) {
+    SpResult sp = SpImpl(graph, src, tracer);
+    result.diameter_estimate =
+        std::max(result.diameter_estimate, sp.max_dist);
+    ++result.sources_used;
+  }
+  return result;
+}
+
+}  // namespace gorder::algo::detail
+
+#endif  // GORDER_ALGO_DETAIL_DIAMETER_IMPL_H_

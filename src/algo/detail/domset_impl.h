@@ -1,0 +1,100 @@
+#ifndef GORDER_ALGO_DETAIL_DOMSET_IMPL_H_
+#define GORDER_ALGO_DETAIL_DOMSET_IMPL_H_
+
+#include <vector>
+
+#include "algo/results.h"
+#include "graph/graph.h"
+#include "util/logging.h"
+
+namespace gorder::algo::detail {
+
+/// Greedy dominating set (replication §2.1): repeatedly select the node
+/// whose closed undirected neighbourhood covers the most still-uncovered
+/// nodes, then mark that neighbourhood covered. Implemented with a lazy
+/// bucket queue: gains only decrease, so a popped node whose recorded
+/// gain is stale is re-filed at its true (lower) gain. The undirected
+/// neighbourhood is out(v) + in(v); a reciprocal neighbour appearing in
+/// both lists only counts once for coverage (gain recount dedups via the
+/// covered bit check on each occurrence at most adds per uncovered node
+/// twice, which only perturbs tie-breaking, never validity).
+template <class Tracer>
+DominatingSetResult DomSetImpl(const Graph& graph, Tracer& tracer) {
+  const NodeId n = graph.NumNodes();
+  DominatingSetResult result;
+  result.in_set.assign(n, false);
+  if (n == 0) return result;
+
+  std::vector<std::uint8_t> covered(n, 0);
+  NodeId num_covered = 0;
+
+  // Recomputes the exact number of uncovered nodes in v's closed
+  // neighbourhood (self + out + in, deduplicated via a scratch mark).
+  std::vector<NodeId> scratch;
+  std::vector<std::uint8_t> marked(n, 0);
+  auto gain_of = [&](NodeId v) -> NodeId {
+    NodeId gain = 0;
+    scratch.clear();
+    auto consider = [&](NodeId w) {
+      tracer.Touch(&marked[w]);
+      if (marked[w]) return;
+      marked[w] = 1;
+      scratch.push_back(w);
+      tracer.Touch(&covered[w]);
+      if (!covered[w]) ++gain;
+    };
+    consider(v);
+    auto outs = graph.OutNeighbors(v);
+    if (!outs.empty()) tracer.Touch(outs.data(), outs.size());
+    for (NodeId w : outs) consider(w);
+    auto ins = graph.InNeighbors(v);
+    if (!ins.empty()) tracer.Touch(ins.data(), ins.size());
+    for (NodeId w : ins) consider(w);
+    for (NodeId w : scratch) marked[w] = 0;
+    return gain;
+  };
+
+  NodeId max_gain = 0;
+  std::vector<NodeId> initial_gain(n);
+  for (NodeId v = 0; v < n; ++v) {
+    // Initial gain = closed-neighbourhood size; exact dedup not needed
+    // here because the lazy pop recomputes exactly before selecting.
+    initial_gain[v] = 1 + graph.UndirectedDegree(v);
+    if (initial_gain[v] > max_gain) max_gain = initial_gain[v];
+  }
+  std::vector<std::vector<NodeId>> buckets(max_gain + 1);
+  for (NodeId v = 0; v < n; ++v) buckets[initial_gain[v]].push_back(v);
+
+  NodeId cur = max_gain;
+  while (num_covered < n) {
+    while (cur > 0 && buckets[cur].empty()) --cur;
+    GORDER_DCHECK(cur > 0);
+    NodeId v = buckets[cur].back();
+    buckets[cur].pop_back();
+    tracer.Touch(&v);
+    NodeId g = gain_of(v);
+    if (g < cur) {
+      // Stale entry: re-file at the true gain (never selects gain-0).
+      if (g > 0) buckets[g].push_back(v);
+      continue;
+    }
+    // Select v: cover its closed neighbourhood.
+    result.in_set[v] = true;
+    ++result.set_size;
+    auto cover = [&](NodeId w) {
+      tracer.Touch(&covered[w]);
+      if (!covered[w]) {
+        covered[w] = 1;
+        ++num_covered;
+      }
+    };
+    cover(v);
+    for (NodeId w : graph.OutNeighbors(v)) cover(w);
+    for (NodeId w : graph.InNeighbors(v)) cover(w);
+  }
+  return result;
+}
+
+}  // namespace gorder::algo::detail
+
+#endif  // GORDER_ALGO_DETAIL_DOMSET_IMPL_H_

@@ -1,0 +1,83 @@
+#ifndef GORDER_ALGO_DETAIL_KCORE_IMPL_H_
+#define GORDER_ALGO_DETAIL_KCORE_IMPL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/results.h"
+#include "graph/graph.h"
+
+namespace gorder::algo::detail {
+
+/// Core decomposition by the O(m) bucket-peeling algorithm of Batagelj &
+/// Zaversnik (the paper's cited method): repeatedly remove the node of
+/// minimum remaining degree; its degree at removal is its core number.
+/// Degrees are over the undirected multiset view (out + in), consistent
+/// with the other symmetric workloads in this repo.
+template <class Tracer>
+KCoreResult KCoreImpl(const Graph& graph, Tracer& tracer) {
+  const NodeId n = graph.NumNodes();
+  KCoreResult result;
+  result.core.assign(n, 0);
+  if (n == 0) return result;
+
+  std::vector<NodeId> deg(n);
+  NodeId max_deg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = graph.UndirectedDegree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  // bin[d] = start index in `vert` of the block of nodes with degree d.
+  std::vector<NodeId> bin(max_deg + 2, 0);
+  for (NodeId v = 0; v < n; ++v) ++bin[deg[v] + 1];
+  for (NodeId d = 0; d <= max_deg; ++d) bin[d + 1] += bin[d];
+  std::vector<NodeId> vert(n);   // nodes sorted by current degree
+  std::vector<NodeId> pos(n);    // position of each node in `vert`
+  {
+    std::vector<NodeId> cursor(bin.begin(), bin.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      pos[v] = cursor[deg[v]]++;
+      vert[pos[v]] = v;
+    }
+  }
+
+  auto decrease_degree = [&](NodeId u) {
+    // Swap u with the first node of its degree block, then shrink the
+    // block boundary: u is now filed under degree deg[u] - 1.
+    NodeId du = deg[u];
+    NodeId pu = pos[u];
+    NodeId pw = bin[du];
+    NodeId w = vert[pw];
+    if (u != w) {
+      std::swap(vert[pu], vert[pw]);
+      pos[u] = pw;
+      pos[w] = pu;
+    }
+    ++bin[du];
+    --deg[u];
+    tracer.Touch(&deg[u]);
+    tracer.Touch(&pos[u]);
+  };
+
+  for (NodeId i = 0; i < n; ++i) {
+    NodeId v = vert[i];
+    tracer.Touch(&vert[i]);
+    result.core[v] = deg[v];
+    tracer.Touch(&result.core[v]);
+    result.max_core = std::max(result.max_core, deg[v]);
+    auto peel = [&](std::span<const NodeId> nbrs) {
+      if (!nbrs.empty()) tracer.Touch(nbrs.data(), nbrs.size());
+      for (NodeId u : nbrs) {
+        tracer.Touch(&deg[u]);
+        if (deg[u] > deg[v]) decrease_degree(u);
+      }
+    };
+    peel(graph.OutNeighbors(v));
+    peel(graph.InNeighbors(v));
+  }
+  return result;
+}
+
+}  // namespace gorder::algo::detail
+
+#endif  // GORDER_ALGO_DETAIL_KCORE_IMPL_H_

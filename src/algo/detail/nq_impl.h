@@ -1,0 +1,36 @@
+#ifndef GORDER_ALGO_DETAIL_NQ_IMPL_H_
+#define GORDER_ALGO_DETAIL_NQ_IMPL_H_
+
+#include "algo/results.h"
+#include "graph/graph.h"
+
+namespace gorder::algo::detail {
+
+/// Neighbour Query: q_u = sum of out-degrees of u's out-neighbours.
+/// The degree lookup `off[v+1] - off[v]` is a random access keyed by the
+/// neighbour id — the access pattern graph ordering optimises.
+template <class Tracer>
+NqResult NqImpl(const Graph& graph, Tracer& tracer) {
+  const NodeId n = graph.NumNodes();
+  const auto& off = graph.out_offsets();
+  NqResult result;
+  result.q.assign(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    tracer.Touch(&off[u], 2);
+    auto nbrs = graph.OutNeighbors(u);
+    if (!nbrs.empty()) tracer.Touch(nbrs.data(), nbrs.size());
+    std::uint64_t sum = 0;
+    for (NodeId v : nbrs) {
+      tracer.Touch(&off[v], 2);
+      sum += off[v + 1] - off[v];
+    }
+    result.q[u] = sum;
+    tracer.Touch(&result.q[u]);
+    result.checksum += sum;
+  }
+  return result;
+}
+
+}  // namespace gorder::algo::detail
+
+#endif  // GORDER_ALGO_DETAIL_NQ_IMPL_H_

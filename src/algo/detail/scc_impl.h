@@ -1,0 +1,102 @@
+#ifndef GORDER_ALGO_DETAIL_SCC_IMPL_H_
+#define GORDER_ALGO_DETAIL_SCC_IMPL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/results.h"
+#include "graph/graph.h"
+
+namespace gorder::algo::detail {
+
+/// Tarjan's strongly-connected-components algorithm (SICOMP 1972),
+/// iterative formulation with an explicit call stack so million-node
+/// graphs cannot overflow the native stack.
+template <class Tracer>
+SccResult SccImpl(const Graph& graph, Tracer& tracer) {
+  const NodeId n = graph.NumNodes();
+  const auto& off = graph.out_offsets();
+  const auto& nbr = graph.out_neighbors();
+
+  constexpr NodeId kUnvisited = kInvalidNode;
+  std::vector<NodeId> index(n, kUnvisited);
+  std::vector<NodeId> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> scc_stack;
+  scc_stack.reserve(1024);
+
+  SccResult result;
+  result.component.assign(n, kInvalidNode);
+  NodeId next_index = 0;
+  std::vector<NodeId> component_size;
+
+  struct Frame {
+    NodeId node;
+    EdgeId cursor;
+  };
+  std::vector<Frame> call_stack;
+  call_stack.reserve(1024);
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, off[root]});
+    index[root] = lowlink[root] = next_index++;
+    tracer.Touch(&index[root]);
+    tracer.Touch(&lowlink[root]);
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& top = call_stack.back();
+      NodeId u = top.node;
+      tracer.Touch(&top);
+      if (top.cursor < off[u + 1]) {
+        NodeId v = nbr[top.cursor++];
+        tracer.Touch(&nbr[top.cursor - 1]);
+        tracer.Touch(&index[v]);
+        if (index[v] == kUnvisited) {
+          index[v] = lowlink[v] = next_index++;
+          tracer.Touch(&lowlink[v]);
+          scc_stack.push_back(v);
+          on_stack[v] = true;
+          tracer.Touch(&off[v], 2);
+          call_stack.push_back({v, off[v]});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+        continue;
+      }
+      // All children explored: maybe emit a component, then return to
+      // the parent, propagating the lowlink.
+      if (lowlink[u] == index[u]) {
+        NodeId comp = result.num_components++;
+        NodeId size = 0;
+        NodeId w;
+        do {
+          w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          result.component[w] = comp;
+          tracer.Touch(&result.component[w]);
+          ++size;
+        } while (w != u);
+        component_size.push_back(size);
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        NodeId parent = call_stack.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+        tracer.Touch(&lowlink[parent]);
+      }
+    }
+  }
+  if (!component_size.empty()) {
+    result.largest_component =
+        *std::max_element(component_size.begin(), component_size.end());
+  }
+  return result;
+}
+
+}  // namespace gorder::algo::detail
+
+#endif  // GORDER_ALGO_DETAIL_SCC_IMPL_H_

@@ -1,0 +1,61 @@
+#ifndef GORDER_ALGO_DETAIL_SP_IMPL_H_
+#define GORDER_ALGO_DETAIL_SP_IMPL_H_
+
+#include <vector>
+
+#include "algo/results.h"
+#include "graph/graph.h"
+
+namespace gorder::algo::detail {
+
+/// Bellman-Ford single-source shortest paths with unit edge weights and
+/// the "simple optimisation" of only relaxing out of nodes whose distance
+/// changed in the previous round (replication §2.1). Complexity
+/// O(delta * m) where delta is the source's eccentricity. The paper keeps
+/// Bellman-Ford (rather than BFS) deliberately, as a representative
+/// relaxation workload; so do we.
+template <class Tracer>
+SpResult SpImpl(const Graph& graph, NodeId src, Tracer& tracer) {
+  const NodeId n = graph.NumNodes();
+  const auto& off = graph.out_offsets();
+  SpResult result;
+  result.dist.assign(n, kInfDistance);
+  result.dist[src] = 0;
+  result.num_reached = 1;
+
+  std::vector<NodeId> active{src};
+  std::vector<NodeId> next_active;
+  std::vector<bool> in_next(n, false);
+  auto& dist = result.dist;
+  while (!active.empty()) {
+    ++result.num_rounds;
+    next_active.clear();
+    for (NodeId u : active) {
+      tracer.Touch(&u);
+      tracer.Touch(&off[u], 2);
+      std::uint32_t du = dist[u];
+      tracer.Touch(&dist[u]);
+      auto nbrs = graph.OutNeighbors(u);
+      if (!nbrs.empty()) tracer.Touch(nbrs.data(), nbrs.size());
+      for (NodeId v : nbrs) {
+        tracer.Touch(&dist[v]);
+        if (dist[v] > du + 1) {
+          if (dist[v] == kInfDistance) ++result.num_reached;
+          dist[v] = du + 1;
+          result.max_dist = std::max(result.max_dist, du + 1);
+          if (!in_next[v]) {
+            in_next[v] = true;
+            next_active.push_back(v);
+          }
+        }
+      }
+    }
+    active.swap(next_active);
+    for (NodeId v : active) in_next[v] = false;
+  }
+  return result;
+}
+
+}  // namespace gorder::algo::detail
+
+#endif  // GORDER_ALGO_DETAIL_SP_IMPL_H_

@@ -1,0 +1,43 @@
+#include "algo/extra.h"
+
+#include <algorithm>
+
+#include "algo/detail/extra_impl.h"
+
+namespace gorder::algo {
+
+std::uint64_t TriangleCount(const Graph& graph) {
+  cachesim::NullTracer tracer;
+  std::vector<std::vector<NodeId>> scratch;
+  return detail::TriangleCountImpl(graph, tracer, &scratch);
+}
+
+std::uint64_t TriangleCountTraced(const Graph& graph,
+                                  cachesim::CacheHierarchy& caches) {
+  cachesim::CacheTracer tracer(&caches);
+  std::vector<std::vector<NodeId>> scratch;
+  return detail::TriangleCountImpl(graph, tracer, &scratch);
+}
+
+SccResult Wcc(const Graph& graph) {
+  cachesim::NullTracer tracer;
+  return detail::WccImpl(graph, tracer);
+}
+
+SccResult WccTraced(const Graph& graph, cachesim::CacheHierarchy& caches) {
+  cachesim::CacheTracer tracer(&caches);
+  return detail::WccImpl(graph, tracer);
+}
+
+SccResult LabelPropagation(const Graph& graph, int max_rounds) {
+  cachesim::NullTracer tracer;
+  return detail::LabelPropagationImpl(graph, max_rounds, tracer);
+}
+
+SccResult LabelPropagationTraced(const Graph& graph, int max_rounds,
+                                 cachesim::CacheHierarchy& caches) {
+  cachesim::CacheTracer tracer(&caches);
+  return detail::LabelPropagationImpl(graph, max_rounds, tracer);
+}
+
+}  // namespace gorder::algo

@@ -1,0 +1,34 @@
+#ifndef GORDER_ALGO_EXTRA_H_
+#define GORDER_ALGO_EXTRA_H_
+
+#include <cstdint>
+
+#include "algo/results.h"
+#include "cachesim/cache.h"
+#include "graph/graph.h"
+
+namespace gorder::algo {
+
+/// Extension workloads beyond the paper's nine (replication §4: "its
+/// consistent efficiency on all algorithms and datasets suggests that it
+/// could speed up other graph algorithms as well" — these test that
+/// suggestion; see bench/ext_workloads).
+
+/// Number of triangles in the undirected simple view.
+std::uint64_t TriangleCount(const Graph& graph);
+std::uint64_t TriangleCountTraced(const Graph& graph,
+                                  cachesim::CacheHierarchy& caches);
+
+/// Weakly connected components (undirected BFS flooding).
+SccResult Wcc(const Graph& graph);
+SccResult WccTraced(const Graph& graph, cachesim::CacheHierarchy& caches);
+
+/// Synchronous label-propagation community detection; returns the final
+/// labelling as a component partition (dense ids).
+SccResult LabelPropagation(const Graph& graph, int max_rounds = 10);
+SccResult LabelPropagationTraced(const Graph& graph, int max_rounds,
+                                 cachesim::CacheHierarchy& caches);
+
+}  // namespace gorder::algo
+
+#endif  // GORDER_ALGO_EXTRA_H_

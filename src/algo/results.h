@@ -1,0 +1,77 @@
+#ifndef GORDER_ALGO_RESULTS_H_
+#define GORDER_ALGO_RESULTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace gorder::algo {
+
+/// Neighbour Query (NQ): for every node u, q_u = sum of out-degrees of
+/// u's out-neighbours (replication §2.1). `checksum` = sum of all q_u.
+struct NqResult {
+  std::vector<std::uint64_t> q;
+  std::uint64_t checksum = 0;
+};
+
+/// Breadth-first search levels. `level[v] == kInfDistance` if unreached.
+struct BfsResult {
+  std::vector<std::uint32_t> level;
+  NodeId num_reached = 0;
+  std::uint64_t sum_levels = 0;
+};
+
+/// Depth-first search forest. `discovery[v]` is the preorder index;
+/// `finish_checksum` folds the postorder sequence so two runs over the
+/// same numbering are comparable.
+struct DfsResult {
+  std::vector<NodeId> discovery;
+  NodeId num_reached = 0;
+  std::uint64_t finish_checksum = 0;
+};
+
+/// Strongly connected components (Tarjan). Component ids are dense in
+/// [0, num_components), assigned in order of completion.
+struct SccResult {
+  std::vector<NodeId> component;
+  NodeId num_components = 0;
+  NodeId largest_component = 0;
+};
+
+/// Single-source shortest paths (Bellman-Ford, unit weights).
+struct SpResult {
+  std::vector<std::uint32_t> dist;
+  NodeId num_reached = 0;
+  std::uint32_t max_dist = 0;  // eccentricity of the source
+  std::uint32_t num_rounds = 0;
+};
+
+/// PageRank scores after a fixed number of power iterations.
+struct PageRankResult {
+  std::vector<double> rank;
+  int iterations = 0;
+  double total_mass = 0.0;  // should be ~1.0
+};
+
+/// Greedy dominating set over the undirected view.
+struct DominatingSetResult {
+  std::vector<bool> in_set;
+  NodeId set_size = 0;
+};
+
+/// K-core decomposition (Batagelj-Zaversnik) over the undirected view.
+struct KCoreResult {
+  std::vector<NodeId> core;
+  NodeId max_core = 0;
+};
+
+/// Diameter lower bound from repeated SP runs (paper's Diam workload).
+struct DiameterResult {
+  std::uint32_t diameter_estimate = 0;
+  NodeId sources_used = 0;
+};
+
+}  // namespace gorder::algo
+
+#endif  // GORDER_ALGO_RESULTS_H_

@@ -1,0 +1,75 @@
+#include "algo/traced.h"
+
+#include "algo/detail/bfs_impl.h"
+#include "algo/detail/diameter_impl.h"
+#include "algo/detail/dfs_impl.h"
+#include "algo/detail/domset_impl.h"
+#include "algo/detail/kcore_impl.h"
+#include "algo/detail/nq_impl.h"
+#include "algo/detail/pagerank_impl.h"
+#include "algo/detail/scc_impl.h"
+#include "algo/detail/sp_impl.h"
+
+namespace gorder::algo {
+
+NqResult NqTraced(const Graph& graph, cachesim::CacheHierarchy& caches) {
+  cachesim::CacheTracer tracer(&caches);
+  return detail::NqImpl(graph, tracer);
+}
+
+BfsResult BfsTraced(const Graph& graph, NodeId source,
+                    cachesim::CacheHierarchy& caches) {
+  cachesim::CacheTracer tracer(&caches);
+  return detail::BfsImpl(graph, source, tracer);
+}
+
+BfsResult BfsForestTraced(const Graph& graph,
+                          cachesim::CacheHierarchy& caches) {
+  cachesim::CacheTracer tracer(&caches);
+  return detail::BfsForestImpl(graph, tracer);
+}
+
+DfsResult DfsForestTraced(const Graph& graph,
+                          cachesim::CacheHierarchy& caches) {
+  cachesim::CacheTracer tracer(&caches);
+  return detail::DfsForestImpl(graph, tracer);
+}
+
+SccResult SccTraced(const Graph& graph, cachesim::CacheHierarchy& caches) {
+  cachesim::CacheTracer tracer(&caches);
+  return detail::SccImpl(graph, tracer);
+}
+
+SpResult SpTraced(const Graph& graph, NodeId source,
+                  cachesim::CacheHierarchy& caches) {
+  cachesim::CacheTracer tracer(&caches);
+  return detail::SpImpl(graph, source, tracer);
+}
+
+PageRankResult PageRankTraced(const Graph& graph, int iterations,
+                              double damping,
+                              cachesim::CacheHierarchy& caches) {
+  cachesim::CacheTracer tracer(&caches);
+  return detail::PageRankImpl(graph, iterations, damping, tracer);
+}
+
+DominatingSetResult DominatingSetTraced(const Graph& graph,
+                                        cachesim::CacheHierarchy& caches) {
+  cachesim::CacheTracer tracer(&caches);
+  return detail::DomSetImpl(graph, tracer);
+}
+
+KCoreResult KCoreTraced(const Graph& graph,
+                        cachesim::CacheHierarchy& caches) {
+  cachesim::CacheTracer tracer(&caches);
+  return detail::KCoreImpl(graph, tracer);
+}
+
+DiameterResult DiameterTraced(const Graph& graph,
+                              const std::vector<NodeId>& sources,
+                              cachesim::CacheHierarchy& caches) {
+  cachesim::CacheTracer tracer(&caches);
+  return detail::DiameterImpl(graph, sources, tracer);
+}
+
+}  // namespace gorder::algo

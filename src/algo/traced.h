@@ -1,0 +1,40 @@
+#ifndef GORDER_ALGO_TRACED_H_
+#define GORDER_ALGO_TRACED_H_
+
+#include <vector>
+
+#include "algo/results.h"
+#include "cachesim/cache.h"
+#include "graph/graph.h"
+
+namespace gorder::algo {
+
+/// Cache-traced variants of the nine workloads: functionally identical to
+/// the plain functions in algorithms.h (same template body), but every
+/// data-structure access is replayed through `caches`, the repo's
+/// substitute for the paper's hardware performance counters. The caller
+/// owns flushing/reading `caches.stats()`.
+NqResult NqTraced(const Graph& graph, cachesim::CacheHierarchy& caches);
+BfsResult BfsTraced(const Graph& graph, NodeId source,
+                    cachesim::CacheHierarchy& caches);
+BfsResult BfsForestTraced(const Graph& graph,
+                          cachesim::CacheHierarchy& caches);
+DfsResult DfsForestTraced(const Graph& graph,
+                          cachesim::CacheHierarchy& caches);
+SccResult SccTraced(const Graph& graph, cachesim::CacheHierarchy& caches);
+SpResult SpTraced(const Graph& graph, NodeId source,
+                  cachesim::CacheHierarchy& caches);
+PageRankResult PageRankTraced(const Graph& graph, int iterations,
+                              double damping,
+                              cachesim::CacheHierarchy& caches);
+DominatingSetResult DominatingSetTraced(const Graph& graph,
+                                        cachesim::CacheHierarchy& caches);
+KCoreResult KCoreTraced(const Graph& graph,
+                        cachesim::CacheHierarchy& caches);
+DiameterResult DiameterTraced(const Graph& graph,
+                              const std::vector<NodeId>& sources,
+                              cachesim::CacheHierarchy& caches);
+
+}  // namespace gorder::algo
+
+#endif  // GORDER_ALGO_TRACED_H_

@@ -1,0 +1,155 @@
+#include "cachesim/cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.h"
+
+namespace gorder::cachesim {
+
+CacheHierarchyConfig CacheHierarchyConfig::ReplicationXeon() {
+  CacheHierarchyConfig c;
+  c.line_bytes = 64;
+  c.levels = {
+      {"L1d", 32 * 1024, 8, 4.0},
+      {"L2", 256 * 1024, 8, 12.0},
+      {"L3", 20 * 1024 * 1024, 16, 42.0},
+  };
+  c.memory_latency_cycles = 161.0;
+  return c;
+}
+
+CacheHierarchyConfig CacheHierarchyConfig::ScaledBench() {
+  CacheHierarchyConfig c;
+  c.line_bytes = 64;
+  c.levels = {
+      {"L1d", 8 * 1024, 8, 4.0},
+      {"L2", 32 * 1024, 8, 12.0},
+      {"L3", 256 * 1024, 16, 42.0},
+  };
+  c.memory_latency_cycles = 161.0;
+  return c;
+}
+
+CacheHierarchyConfig CacheHierarchyConfig::TestTiny() {
+  CacheHierarchyConfig c;
+  c.line_bytes = 64;
+  c.levels = {
+      {"L1", 4 * 64, 1, 1.0},   // 4 sets, direct mapped
+      {"L2", 16 * 64, 2, 4.0},  // 8 sets, 2-way
+  };
+  c.memory_latency_cycles = 20.0;
+  c.compute_cycles_per_access = 1.0;  // keeps unit-test arithmetic simple
+  return c;
+}
+
+CacheLevel::CacheLevel(const CacheLevelConfig& config,
+                       std::uint32_t line_bytes)
+    : name_(config.name),
+      ways_(config.ways),
+      latency_cycles_(config.latency_cycles) {
+  GORDER_CHECK(config.ways >= 1);
+  GORDER_CHECK(config.size_bytes % (static_cast<std::uint64_t>(line_bytes) *
+                                    config.ways) ==
+               0);
+  num_sets_ = config.size_bytes / line_bytes / config.ways;
+  GORDER_CHECK(num_sets_ >= 1);
+  // Power-of-two set counts index with a mask; others (e.g. the 20 MiB
+  // L3 of the replication machine: 20480 sets) fall back to modulo.
+  pow2_sets_ = std::has_single_bit(num_sets_);
+  tags_.assign(num_sets_ * ways_, kEmptyTag);
+  stamps_.assign(num_sets_ * ways_, 0);
+}
+
+bool CacheLevel::Access(std::uint64_t line_addr) {
+  const std::uint64_t set =
+      pow2_sets_ ? (line_addr & (num_sets_ - 1)) : (line_addr % num_sets_);
+  std::uint64_t* tags = &tags_[set * ways_];
+  std::uint64_t* stamps = &stamps_[set * ways_];
+  ++tick_;
+  std::uint32_t victim = 0;
+  std::uint64_t oldest = ~0ULL;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (tags[w] == line_addr) {
+      stamps[w] = tick_;
+      return true;
+    }
+    if (stamps[w] < oldest) {
+      oldest = stamps[w];
+      victim = w;
+    }
+  }
+  tags[victim] = line_addr;
+  stamps[victim] = tick_;
+  return false;
+}
+
+void CacheLevel::Flush() {
+  std::fill(tags_.begin(), tags_.end(), kEmptyTag);
+  std::fill(stamps_.begin(), stamps_.end(), 0);
+  tick_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheHierarchyConfig& config)
+    : config_(config) {
+  GORDER_CHECK(!config.levels.empty());
+  GORDER_CHECK(std::has_single_bit(config.line_bytes));
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(config.line_bytes));
+  for (const auto& lvl : config.levels) {
+    levels_.emplace_back(lvl, config.line_bytes);
+  }
+}
+
+void CacheHierarchy::Access(const void* addr, std::size_t size) {
+  GORDER_DCHECK(size > 0);
+  const auto start = reinterpret_cast<std::uint64_t>(addr);
+  const std::uint64_t first = start >> line_shift_;
+  const std::uint64_t last = (start + size - 1) >> line_shift_;
+  for (std::uint64_t line = first; line <= last; ++line) AccessLine(line);
+}
+
+void CacheHierarchy::AccessElements(const void* addr, std::size_t elem_size,
+                                    std::size_t count) {
+  const auto start = reinterpret_cast<std::uint64_t>(addr);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t first = (start + i * elem_size) >> line_shift_;
+    const std::uint64_t last =
+        (start + (i + 1) * elem_size - 1) >> line_shift_;
+    AccessLine(first);
+    // Elements larger than a line (rare) still touch every line once.
+    for (std::uint64_t line = first + 1; line <= last; ++line) {
+      AccessLine(line);
+    }
+  }
+}
+
+void CacheHierarchy::AccessLine(std::uint64_t line_addr) {
+  ++stats_.l1_refs;
+  stats_.compute_cycles += config_.compute_cycles_per_access;
+  const std::size_t last = levels_.size() - 1;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    // The loop only reaches level i after missing in all shallower levels,
+    // so counting last-level references here matches the paper's "L3-ref".
+    if (i == last) ++stats_.l3_refs;
+    bool hit = levels_[i].Access(line_addr);
+    if (hit) {
+      // Inclusive fill: Access() installed the line in every level we
+      // traversed on the way down, so no separate fill pass is needed.
+      if (i > 0) stats_.stall_cycles += levels_[i].latency_cycles();
+      return;
+    }
+    if (i == 0) ++stats_.l1_misses;
+    if (i == last) {
+      ++stats_.l3_misses;
+      stats_.stall_cycles += config_.memory_latency_cycles;
+      return;
+    }
+  }
+}
+
+void CacheHierarchy::Flush() {
+  for (auto& lvl : levels_) lvl.Flush();
+  ResetStats();
+}
+
+}  // namespace gorder::cachesim

@@ -1,0 +1,170 @@
+#ifndef GORDER_CACHESIM_CACHE_H_
+#define GORDER_CACHESIM_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gorder::cachesim {
+
+/// Geometry of one cache level.
+struct CacheLevelConfig {
+  std::string name;
+  std::uint64_t size_bytes = 0;
+  std::uint32_t ways = 8;
+  /// Absolute load-to-use latency in cycles when the access is served by
+  /// this level (used for the stall-cycle model of Figure 1).
+  double latency_cycles = 0.0;
+};
+
+/// Full hierarchy geometry plus memory latency.
+struct CacheHierarchyConfig {
+  std::uint32_t line_bytes = 64;
+  std::vector<CacheLevelConfig> levels;
+  double memory_latency_cycles = 161.0;
+  /// CPU-work cycles charged per traced access (models the ALU/branch
+  /// work between memory touches; calibrates Figure 1's compute share).
+  double compute_cycles_per_access = 2.0;
+
+  /// The replication's machine (SGI UV2000, Xeon E5-4650L @2.6GHz):
+  /// L1d 32KiB/8-way (4c), L2 256KiB/8-way (12c), L3 20MiB/16-way (42c),
+  /// RAM ~62ns ~= 161 cycles at 2.6GHz. 64-byte lines. Use this when the
+  /// traced dataset is paper-scale (hundreds of MiB of CSR).
+  static CacheHierarchyConfig ReplicationXeon();
+
+  /// The Xeon hierarchy shrunk ~64x with latencies kept: L1 8KiB/8-way,
+  /// L2 32KiB/8-way, L3 256KiB/16-way. The benchmark datasets in this
+  /// repo are scaled ~1/40-1/100 of the paper's, so shrinking the caches
+  /// by a similar factor restores the paper's working-set-to-cache ratio
+  /// (graphs several times larger than the last level) and with it the
+  /// miss-rate differentiation the paper measures.
+  static CacheHierarchyConfig ScaledBench();
+
+  /// A deliberately tiny hierarchy for unit tests (4 lines direct-mapped).
+  static CacheHierarchyConfig TestTiny();
+};
+
+/// Counters in the layout of the paper's Tables 3/4.
+struct CacheStats {
+  std::uint64_t l1_refs = 0;      // total accesses
+  std::uint64_t l1_misses = 0;    // not found in L1
+  std::uint64_t l3_refs = 0;      // reached the last level
+  std::uint64_t l3_misses = 0;    // went to memory
+  double stall_cycles = 0.0;      // latency beyond an L1 hit
+  double compute_cycles = 0.0;    // 1 cycle per access baseline
+
+  double L1MissRate() const {
+    return l1_refs == 0 ? 0.0 : static_cast<double>(l1_misses) / l1_refs;
+  }
+  /// "L3-r" in the paper: share of all references that had to consult L3.
+  double L3Ratio() const {
+    return l1_refs == 0 ? 0.0 : static_cast<double>(l3_refs) / l1_refs;
+  }
+  /// "Cache-mr": share of all references served by main memory.
+  double OverallMissRate() const {
+    return l1_refs == 0 ? 0.0 : static_cast<double>(l3_misses) / l1_refs;
+  }
+  /// Fraction of modelled time spent stalled (Figure 1's black bars).
+  double StallFraction() const {
+    double total = stall_cycles + compute_cycles;
+    return total == 0.0 ? 0.0 : stall_cycles / total;
+  }
+};
+
+/// One set-associative LRU cache level.
+class CacheLevel {
+ public:
+  CacheLevel(const CacheLevelConfig& config, std::uint32_t line_bytes);
+
+  /// Touches `line_addr` (already line-granular). Returns true on hit;
+  /// on miss the line is installed, evicting the LRU way.
+  bool Access(std::uint64_t line_addr);
+
+  void Flush();
+
+  std::uint64_t num_sets() const { return num_sets_; }
+  std::uint32_t ways() const { return ways_; }
+  const std::string& name() const { return name_; }
+  double latency_cycles() const { return latency_cycles_; }
+
+ private:
+  std::string name_;
+  std::uint64_t num_sets_;
+  bool pow2_sets_ = true;
+  std::uint32_t ways_;
+  double latency_cycles_;
+  std::uint64_t tick_ = 0;
+  static constexpr std::uint64_t kEmptyTag = ~0ULL;
+  std::vector<std::uint64_t> tags_;    // num_sets * ways
+  std::vector<std::uint64_t> stamps_;  // LRU timestamps, parallel to tags_
+};
+
+/// An inclusive-fill multi-level hierarchy with per-level hit/miss
+/// accounting and a simple additive latency model. This is the repo's
+/// substitute for the papers' hardware performance counters (perf/ocperf):
+/// deterministic, portable, and it counts exactly the event classes the
+/// paper reports (L1 refs/misses, L3 refs/ratio, overall miss rate,
+/// cache-stall share).
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const CacheHierarchyConfig& config =
+                              CacheHierarchyConfig::ReplicationXeon());
+
+  /// Touches `size` bytes starting at `addr`; every 64-byte line in the
+  /// range counts as one reference. Use for single scalar/struct loads.
+  void Access(const void* addr, std::size_t size);
+
+  /// Touches `count` consecutive elements of `elem_size` bytes, counting
+  /// one reference *per element* — the accounting of hardware load
+  /// counters, where a sequential scan issues one load per element and
+  /// misses only on line boundaries. This is what keeps the simulated
+  /// L1-ref and miss-rate columns comparable to the paper's perf output.
+  void AccessElements(const void* addr, std::size_t elem_size,
+                      std::size_t count);
+
+  void AccessLine(std::uint64_t line_addr);
+
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats(); }
+  /// Empties all levels (cold caches) and clears statistics.
+  void Flush();
+
+  const CacheHierarchyConfig& config() const { return config_; }
+
+ private:
+  CacheHierarchyConfig config_;
+  std::vector<CacheLevel> levels_;
+  CacheStats stats_;
+  std::uint32_t line_shift_;
+};
+
+/// No-op tracer: the timed benchmark variants instantiate algorithm
+/// templates with this and the compiler erases every Touch call.
+struct NullTracer {
+  static constexpr bool kEnabled = false;
+  template <typename T>
+  void Touch(const T*, std::size_t = 1) {}
+};
+
+/// Tracer that forwards every touched range to a CacheHierarchy.
+class CacheTracer {
+ public:
+  static constexpr bool kEnabled = true;
+  explicit CacheTracer(CacheHierarchy* hierarchy) : hierarchy_(hierarchy) {}
+
+  template <typename T>
+  void Touch(const T* ptr, std::size_t count = 1) {
+    if (count == 1) {
+      hierarchy_->Access(ptr, sizeof(T));
+    } else {
+      hierarchy_->AccessElements(ptr, sizeof(T), count);
+    }
+  }
+
+ private:
+  CacheHierarchy* hierarchy_;
+};
+
+}  // namespace gorder::cachesim
+
+#endif  // GORDER_CACHESIM_CACHE_H_

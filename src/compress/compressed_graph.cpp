@@ -1,0 +1,68 @@
+#include "compress/compressed_graph.h"
+
+#include "compress/varint.h"
+#include "util/logging.h"
+
+namespace gorder::compress {
+
+CompressedGraph CompressedGraph::FromGraph(const Graph& graph) {
+  CompressedGraph cg;
+  cg.num_nodes_ = graph.NumNodes();
+  cg.num_edges_ = graph.NumEdges();
+  cg.offsets_.resize(cg.num_nodes_);
+  cg.degree_.resize(cg.num_nodes_);
+  cg.bytes_.reserve(graph.NumEdges());  // >= 1 byte per edge lower bound
+  for (NodeId v = 0; v < cg.num_nodes_; ++v) {
+    cg.offsets_[v] = cg.bytes_.size();
+    auto nbrs = graph.OutNeighbors(v);  // sorted ascending by CSR invariant
+    cg.degree_[v] = static_cast<NodeId>(nbrs.size());
+    if (nbrs.empty()) continue;
+    std::int64_t first_gap = static_cast<std::int64_t>(nbrs[0]) -
+                             static_cast<std::int64_t>(v);
+    AppendVarint(ZigZagEncode(first_gap), cg.bytes_);
+    for (std::size_t i = 1; i < nbrs.size(); ++i) {
+      GORDER_DCHECK(nbrs[i] > nbrs[i - 1]);
+      AppendVarint(nbrs[i] - nbrs[i - 1] - 1, cg.bytes_);
+    }
+  }
+  return cg;
+}
+
+Graph CompressedGraph::Decompress() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    ForEachOutNeighbor(v, [&](NodeId w) { edges.push_back({v, w}); });
+  }
+  return Graph::FromEdges(num_nodes_, std::move(edges),
+                          /*keep_self_loops=*/true,
+                          /*keep_duplicates=*/true);
+}
+
+std::vector<double> PageRankOnCompressed(const CompressedGraph& graph,
+                                         int iterations, double damping) {
+  const NodeId n = graph.NumNodes();
+  std::vector<double> rank(n, n == 0 ? 0.0 : 1.0 / n);
+  if (n == 0) return rank;
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      NodeId deg = graph.OutDegree(u);
+      if (deg == 0) {
+        dangling += rank[u];
+        continue;
+      }
+      double share = rank[u] / deg;
+      graph.ForEachOutNeighbor(u, [&](NodeId v) { next[v] += share; });
+    }
+    const double base = (1.0 - damping) / n + damping * dangling / n;
+    for (NodeId v = 0; v < n; ++v) {
+      rank[v] = base + damping * next[v];
+    }
+  }
+  return rank;
+}
+
+}  // namespace gorder::compress

@@ -1,0 +1,62 @@
+#ifndef GORDER_COMPRESS_VARINT_H_
+#define GORDER_COMPRESS_VARINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace gorder::compress {
+
+/// LEB128 variable-length integers plus zigzag signed mapping — the
+/// building blocks of the gap-encoded adjacency format.
+
+inline void AppendVarint(std::uint64_t value, std::vector<std::uint8_t>& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+/// Decodes a varint at `pos`, advancing it. Aborts on truncated input
+/// (the buffer is produced by this library; corruption is a logic bug).
+inline std::uint64_t ReadVarint(const std::vector<std::uint8_t>& buf,
+                                std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    GORDER_DCHECK(pos < buf.size());
+    std::uint8_t byte = buf[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    GORDER_DCHECK(shift < 64);
+  }
+  return value;
+}
+
+/// Zigzag: maps signed to unsigned so small magnitudes stay small.
+inline std::uint64_t ZigZagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t ZigZagDecode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Number of bytes AppendVarint would emit.
+inline std::size_t VarintSize(std::uint64_t value) {
+  std::size_t bytes = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++bytes;
+  }
+  return bytes;
+}
+
+}  // namespace gorder::compress
+
+#endif  // GORDER_COMPRESS_VARINT_H_

@@ -1,0 +1,65 @@
+#include "gen/crawl_order.h"
+
+#include <deque>
+
+#include "util/logging.h"
+
+namespace gorder::gen {
+
+std::vector<NodeId> MakeCrawlOrderPermutation(const Graph& graph,
+                                              double jump_prob, Rng& rng) {
+  const NodeId n = graph.NumNodes();
+  std::vector<NodeId> perm(n, kInvalidNode);
+  std::vector<bool> queued(n, false);
+  // Unvisited pool for teleports and component restarts: a shuffled list
+  // scanned left to right (already-queued entries skipped lazily).
+  std::vector<NodeId> pool(n);
+  for (NodeId v = 0; v < n; ++v) pool[v] = v;
+  rng.Shuffle(pool);
+  std::size_t pool_pos = 0;
+  auto next_unqueued = [&]() -> NodeId {
+    while (pool_pos < pool.size() && queued[pool[pool_pos]]) ++pool_pos;
+    return pool_pos < pool.size() ? pool[pool_pos] : kInvalidNode;
+  };
+
+  std::deque<NodeId> frontier;
+  NodeId next_rank = 0;
+  while (next_rank < n) {
+    if (frontier.empty()) {
+      NodeId seed = next_unqueued();
+      GORDER_CHECK(seed != kInvalidNode);
+      queued[seed] = true;
+      frontier.push_back(seed);
+    }
+    NodeId v;
+    if (rng.UniformDouble() < jump_prob) {
+      NodeId jump = next_unqueued();
+      if (jump != kInvalidNode) {
+        queued[jump] = true;
+        v = jump;
+      } else {
+        v = frontier.front();
+        frontier.pop_front();
+      }
+    } else {
+      v = frontier.front();
+      frontier.pop_front();
+    }
+    perm[v] = next_rank++;
+    for (NodeId w : graph.OutNeighbors(v)) {
+      if (!queued[w]) {
+        queued[w] = true;
+        frontier.push_back(w);
+      }
+    }
+    for (NodeId w : graph.InNeighbors(v)) {
+      if (!queued[w]) {
+        queued[w] = true;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return perm;
+}
+
+}  // namespace gorder::gen

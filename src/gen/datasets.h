@@ -1,0 +1,43 @@
+#ifndef GORDER_GEN_DATASETS_H_
+#define GORDER_GEN_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gorder::gen {
+
+/// A registry entry describing one of the paper's benchmark datasets and
+/// the synthetic stand-in this repo generates for it (DESIGN.md §4).
+struct DatasetSpec {
+  std::string name;       // paper's dataset name, e.g. "pokec"
+  std::string category;   // "social" or "web"
+  std::string generator;  // "rmat", "planted", "copying"
+  // Paper-reported sizes (for Table 1 context).
+  double paper_nodes_m = 0.0;  // millions
+  double paper_edges_m = 0.0;  // millions
+  // Stand-in sizes at scale = 1.
+  NodeId sim_nodes = 0;
+  EdgeId sim_edges = 0;
+  double crawl_jump_prob = 0.1;  // locality of the "Original" numbering
+};
+
+/// The nine datasets of the replication (eight from the original paper
+/// plus epinion), ordered smallest to largest as in its figures.
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// Spec lookup by name; aborts on unknown name.
+const DatasetSpec& GetDatasetSpec(const std::string& name);
+
+/// Generates the synthetic stand-in for `name`. `scale` multiplies the
+/// default node/edge counts (0.25 for quick smoke runs, 4+ to stress).
+/// The node numbering of the returned graph is the dataset's "Original"
+/// ordering: a noisy-crawl relabel that mimics real export locality.
+/// Deterministic in (name, scale, seed).
+Graph MakeDataset(const std::string& name, double scale = 1.0,
+                  std::uint64_t seed = 42);
+
+}  // namespace gorder::gen
+
+#endif  // GORDER_GEN_DATASETS_H_

@@ -1,0 +1,58 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gorder {
+
+DynamicGraph::DynamicGraph(const Graph& graph) {
+  out_.resize(graph.NumNodes());
+  in_.resize(graph.NumNodes());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    auto outs = graph.OutNeighbors(v);
+    out_[v].assign(outs.begin(), outs.end());
+    auto ins = graph.InNeighbors(v);
+    in_[v].assign(ins.begin(), ins.end());
+  }
+  num_edges_ = graph.NumEdges();
+}
+
+NodeId DynamicGraph::AddNode() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+bool DynamicGraph::AddEdge(NodeId src, NodeId dst) {
+  GORDER_CHECK(src < NumNodes() && dst < NumNodes());
+  if (src == dst) return false;
+  if (HasEdge(src, dst)) return false;
+  out_[src].push_back(dst);
+  in_[dst].push_back(src);
+  ++num_edges_;
+  return true;
+}
+
+bool DynamicGraph::HasEdge(NodeId src, NodeId dst) const {
+  // Scan the smaller of the two incidence lists.
+  const auto& fwd = out_[src];
+  const auto& bwd = in_[dst];
+  if (fwd.size() <= bwd.size()) {
+    return std::find(fwd.begin(), fwd.end(), dst) != fwd.end();
+  }
+  return std::find(bwd.begin(), bwd.end(), src) != bwd.end();
+}
+
+Graph DynamicGraph::ToCsr() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (NodeId v = 0; v < NumNodes(); ++v) {
+    for (NodeId w : out_[v]) edges.push_back({v, w});
+  }
+  return Graph::FromEdges(NumNodes(), std::move(edges),
+                          /*keep_self_loops=*/false,
+                          /*keep_duplicates=*/false);
+}
+
+}  // namespace gorder

@@ -1,0 +1,53 @@
+#ifndef GORDER_GRAPH_DYNAMIC_GRAPH_H_
+#define GORDER_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gorder {
+
+/// Mutable directed graph for evolving-network scenarios (the paper's
+/// discussion: "networks evolve and require constant recomputation of
+/// the node ordering"). Keeps unsorted out/in adjacency vectors for O(1)
+/// amortised insertion; convert to the immutable CSR `Graph` for
+/// algorithm runs.
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+  /// Seeds from an existing CSR graph.
+  explicit DynamicGraph(const Graph& graph);
+
+  NodeId NumNodes() const { return static_cast<NodeId>(out_.size()); }
+  EdgeId NumEdges() const { return num_edges_; }
+
+  /// Appends an isolated node; returns its id.
+  NodeId AddNode();
+
+  /// Adds edge src -> dst (nodes must exist). Self-loops rejected;
+  /// duplicate edges ignored. Returns true if the edge was new.
+  bool AddEdge(NodeId src, NodeId dst);
+
+  bool HasEdge(NodeId src, NodeId dst) const;
+
+  NodeId OutDegree(NodeId v) const {
+    return static_cast<NodeId>(out_[v].size());
+  }
+  NodeId InDegree(NodeId v) const {
+    return static_cast<NodeId>(in_[v].size());
+  }
+  const std::vector<NodeId>& OutNeighbors(NodeId v) const { return out_[v]; }
+  const std::vector<NodeId>& InNeighbors(NodeId v) const { return in_[v]; }
+
+  /// Snapshot to immutable CSR (sorted, deduplicated by construction).
+  Graph ToCsr() const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  EdgeId num_edges_ = 0;
+};
+
+}  // namespace gorder
+
+#endif  // GORDER_GRAPH_DYNAMIC_GRAPH_H_

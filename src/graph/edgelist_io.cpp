@@ -1,0 +1,125 @@
+#include "graph/edgelist_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace gorder {
+
+namespace {
+
+constexpr char kBinaryMagic[8] = {'G', 'O', 'R', 'D', 'E', 'R', '0', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+IoResult ReadEdgeList(const std::string& path, Graph* graph) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (!f) return IoResult::Error("cannot open " + path);
+  Graph::Builder builder;
+  char line[256];
+  std::size_t lineno = 0;
+  while (std::fgets(line, sizeof line, f.get()) != nullptr) {
+    ++lineno;
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') continue;
+    std::uint64_t src = 0, dst = 0;
+    if (std::sscanf(p, "%" SCNu64 " %" SCNu64, &src, &dst) != 2) {
+      return IoResult::Error(path + ":" + std::to_string(lineno) +
+                             ": malformed edge line");
+    }
+    if (src > 0xFFFFFFFEULL || dst > 0xFFFFFFFEULL) {
+      return IoResult::Error(path + ":" + std::to_string(lineno) +
+                             ": node id out of 32-bit range");
+    }
+    builder.AddEdge(static_cast<NodeId>(src), static_cast<NodeId>(dst));
+  }
+  *graph = builder.Build();
+  return IoResult::Ok();
+}
+
+IoResult WriteEdgeList(const std::string& path, const Graph& graph) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return IoResult::Error("cannot open " + path + " for writing");
+  std::fprintf(f.get(), "# Directed graph: %u nodes, %" PRIu64 " edges\n",
+               graph.NumNodes(), graph.NumEdges());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    for (NodeId w : graph.OutNeighbors(v)) {
+      std::fprintf(f.get(), "%u %u\n", v, w);
+    }
+  }
+  return IoResult::Ok();
+}
+
+IoResult WriteBinary(const std::string& path, const Graph& graph) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return IoResult::Error("cannot open " + path + " for writing");
+  std::uint64_t n = graph.NumNodes();
+  std::uint64_t m = graph.NumEdges();
+  bool ok = std::fwrite(kBinaryMagic, 1, 8, f.get()) == 8 &&
+            std::fwrite(&n, sizeof n, 1, f.get()) == 1 &&
+            std::fwrite(&m, sizeof m, 1, f.get()) == 1;
+  auto write_vec = [&](const auto& v) {
+    return v.empty() ||
+           std::fwrite(v.data(), sizeof(v[0]), v.size(), f.get()) == v.size();
+  };
+  ok = ok && write_vec(graph.out_offsets()) && write_vec(graph.out_neighbors());
+  if (!ok) return IoResult::Error("short write to " + path);
+  return IoResult::Ok();
+}
+
+IoResult ReadBinary(const std::string& path, Graph* graph) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return IoResult::Error("cannot open " + path);
+  char magic[8];
+  std::uint64_t n = 0, m = 0;
+  if (std::fread(magic, 1, 8, f.get()) != 8 ||
+      std::memcmp(magic, kBinaryMagic, 8) != 0) {
+    return IoResult::Error(path + ": bad magic (not a gorder binary graph)");
+  }
+  if (std::fread(&n, sizeof n, 1, f.get()) != 1 ||
+      std::fread(&m, sizeof m, 1, f.get()) != 1) {
+    return IoResult::Error(path + ": truncated header");
+  }
+  if (n > 0xFFFFFFFFULL) return IoResult::Error(path + ": node count too big");
+  std::vector<EdgeId> offsets(n + 1);
+  std::vector<NodeId> neigh(m);
+  if (std::fread(offsets.data(), sizeof(EdgeId), offsets.size(), f.get()) !=
+      offsets.size()) {
+    return IoResult::Error(path + ": truncated offsets");
+  }
+  if (m > 0 &&
+      std::fread(neigh.data(), sizeof(NodeId), neigh.size(), f.get()) !=
+          neigh.size()) {
+    return IoResult::Error(path + ": truncated neighbours");
+  }
+  if (offsets[0] != 0 || offsets[n] != m) {
+    return IoResult::Error(path + ": inconsistent CSR offsets");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return IoResult::Error(path + ": non-monotone CSR offsets");
+    }
+    for (EdgeId e = offsets[v]; e < offsets[v + 1]; ++e) {
+      if (neigh[e] >= n) return IoResult::Error(path + ": neighbour id >= n");
+      edges.push_back({static_cast<NodeId>(v), neigh[e]});
+    }
+  }
+  *graph = Graph::FromEdges(static_cast<NodeId>(n), std::move(edges),
+                            /*keep_self_loops=*/true,
+                            /*keep_duplicates=*/true);
+  return IoResult::Ok();
+}
+
+}  // namespace gorder

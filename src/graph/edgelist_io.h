@@ -1,0 +1,39 @@
+#ifndef GORDER_GRAPH_EDGELIST_IO_H_
+#define GORDER_GRAPH_EDGELIST_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace gorder {
+
+/// Result wrapper for I/O entry points (these can legitimately fail on
+/// user input, so unlike internal invariants they do not abort).
+struct IoResult {
+  bool ok = true;
+  std::string error;
+
+  static IoResult Ok() { return {}; }
+  static IoResult Error(std::string message) {
+    return {false, std::move(message)};
+  }
+};
+
+/// Reads a whitespace-separated directed edge list ("src dst" per line,
+/// '#' and '%' comment lines skipped — the SNAP and Konect conventions).
+/// Node ids must be non-negative integers; ids are used verbatim, so the
+/// file's own numbering is the "Original" ordering, as in the paper.
+IoResult ReadEdgeList(const std::string& path, Graph* graph);
+
+/// Writes "src dst" lines with a SNAP-style header comment.
+IoResult WriteEdgeList(const std::string& path, const Graph& graph);
+
+/// Binary format: magic, counts, then raw CSR arrays. Round-trips exactly
+/// and loads without re-sorting; used to cache generated datasets between
+/// benchmark runs.
+IoResult ReadBinary(const std::string& path, Graph* graph);
+IoResult WriteBinary(const std::string& path, const Graph& graph);
+
+}  // namespace gorder
+
+#endif  // GORDER_GRAPH_EDGELIST_IO_H_

@@ -1,0 +1,148 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gorder {
+
+void Graph::Builder::AddEdge(NodeId src, NodeId dst) {
+  edges_.push_back({src, dst});
+  NodeId hi = std::max(src, dst);
+  if (hi >= num_nodes_) num_nodes_ = hi + 1;
+}
+
+void Graph::Builder::ReserveNodes(NodeId n) {
+  if (n > num_nodes_) num_nodes_ = n;
+}
+
+Graph Graph::Builder::Build(bool keep_self_loops, bool keep_duplicates) {
+  return Graph::FromEdges(num_nodes_, std::move(edges_), keep_self_loops,
+                          keep_duplicates);
+}
+
+namespace {
+
+// Counting-sort based CSR fill: offsets from degrees, then scatter.
+void FillCsr(NodeId num_nodes, const std::vector<Edge>& edges, bool reverse,
+             std::vector<EdgeId>& offsets, std::vector<NodeId>& neigh) {
+  offsets.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const Edge& e : edges) {
+    NodeId key = reverse ? e.dst : e.src;
+    ++offsets[key + 1];
+  }
+  for (std::size_t v = 0; v < num_nodes; ++v) offsets[v + 1] += offsets[v];
+  neigh.resize(edges.size());
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges) {
+    NodeId key = reverse ? e.dst : e.src;
+    NodeId val = reverse ? e.src : e.dst;
+    neigh[cursor[key]++] = val;
+  }
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    std::sort(neigh.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              neigh.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+}
+
+}  // namespace
+
+Graph Graph::FromEdges(NodeId num_nodes, std::vector<Edge> edges,
+                       bool keep_self_loops, bool keep_duplicates) {
+  for (const Edge& e : edges) {
+    GORDER_CHECK(e.src < num_nodes && e.dst < num_nodes);
+  }
+  if (!keep_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+  if (!keep_duplicates) {
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+      return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+    });
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  FillCsr(num_nodes, edges, /*reverse=*/false, g.out_offsets_, g.out_neigh_);
+  FillCsr(num_nodes, edges, /*reverse=*/true, g.in_offsets_, g.in_neigh_);
+  return g;
+}
+
+Graph Graph::Clone() const {
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  g.out_offsets_ = out_offsets_;
+  g.out_neigh_ = out_neigh_;
+  g.in_offsets_ = in_offsets_;
+  g.in_neigh_ = in_neigh_;
+  return g;
+}
+
+bool Graph::HasEdge(NodeId src, NodeId dst) const {
+  GORDER_DCHECK(src < num_nodes_ && dst < num_nodes_);
+  auto nbrs = OutNeighbors(src);
+  return std::binary_search(nbrs.begin(), nbrs.end(), dst);
+}
+
+Graph Graph::Relabel(const std::vector<NodeId>& perm) const {
+  CheckPermutation(perm, num_nodes_);
+  std::vector<Edge> edges;
+  edges.reserve(out_neigh_.size());
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    for (NodeId w : OutNeighbors(v)) {
+      edges.push_back({perm[v], perm[w]});
+    }
+  }
+  // Self-loops/duplicates were already handled at original construction;
+  // keep whatever edges exist verbatim.
+  return FromEdges(num_nodes_, std::move(edges), /*keep_self_loops=*/true,
+                   /*keep_duplicates=*/true);
+}
+
+std::vector<Edge> Graph::ToEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(out_neigh_.size());
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    for (NodeId w : OutNeighbors(v)) edges.push_back({v, w});
+  }
+  return edges;
+}
+
+std::size_t Graph::MemoryBytes() const {
+  return out_offsets_.size() * sizeof(EdgeId) +
+         out_neigh_.size() * sizeof(NodeId) +
+         in_offsets_.size() * sizeof(EdgeId) +
+         in_neigh_.size() * sizeof(NodeId);
+}
+
+void CheckPermutation(const std::vector<NodeId>& perm, NodeId n) {
+  GORDER_CHECK(perm.size() == n);
+  std::vector<bool> seen(n, false);
+  for (NodeId p : perm) {
+    GORDER_CHECK(p < n);
+    GORDER_CHECK(!seen[p]);
+    seen[p] = true;
+  }
+}
+
+std::vector<NodeId> InvertPermutation(const std::vector<NodeId>& perm) {
+  std::vector<NodeId> inv(perm.size());
+  for (NodeId v = 0; v < perm.size(); ++v) inv[perm[v]] = v;
+  return inv;
+}
+
+std::vector<NodeId> ComposePermutations(const std::vector<NodeId>& first,
+                                        const std::vector<NodeId>& second) {
+  GORDER_CHECK(first.size() == second.size());
+  std::vector<NodeId> out(first.size());
+  for (NodeId v = 0; v < first.size(); ++v) out[v] = second[first[v]];
+  return out;
+}
+
+std::vector<NodeId> IdentityPermutation(NodeId n) {
+  std::vector<NodeId> p(n);
+  for (NodeId v = 0; v < n; ++v) p[v] = v;
+  return p;
+}
+
+}  // namespace gorder

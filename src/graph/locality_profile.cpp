@@ -1,0 +1,50 @@
+#include "graph/locality_profile.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gorder {
+
+double LocalityProfile::CumulativeBelow(int log2_gap) const {
+  if (num_edges == 0) return 0.0;
+  std::uint64_t count = 0;
+  for (int i = 0; i < log2_gap && i < static_cast<int>(gap_histogram.size());
+       ++i) {
+    count += gap_histogram[i];
+  }
+  return static_cast<double>(count) / static_cast<double>(num_edges);
+}
+
+LocalityProfile ComputeLocalityProfile(const Graph& graph) {
+  LocalityProfile p;
+  p.num_edges = graph.NumEdges();
+  p.gap_histogram.assign(33, 0);
+  if (p.num_edges == 0) return p;
+  std::uint64_t same_line = 0, win5 = 0, win1024 = 0;
+  double gap_sum = 0.0, log_sum = 0.0;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    for (NodeId w : graph.OutNeighbors(v)) {
+      std::uint32_t gap = v > w ? v - w : w - v;
+      if (gap == 0) continue;  // self loop, if kept
+      p.bandwidth = std::max(p.bandwidth, gap);
+      gap_sum += gap;
+      log_sum += std::log2(1.0 + gap);
+      // bucket = floor(log2(gap)): gap 1 -> 0, 2..3 -> 1, ...
+      ++p.gap_histogram[std::bit_width(gap) - 1];
+      same_line += gap < 16;
+      win5 += gap <= 5;
+      win1024 += gap <= 1024;
+    }
+  }
+  const auto m = static_cast<double>(p.num_edges);
+  p.avg_gap = gap_sum / m;
+  p.avg_log2_gap = log_sum / m;
+  p.same_line_fraction = static_cast<double>(same_line) / m;
+  p.within_window5 = static_cast<double>(win5) / m;
+  p.within_window1024 = static_cast<double>(win1024) / m;
+  return p;
+}
+
+}  // namespace gorder

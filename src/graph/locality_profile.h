@@ -1,0 +1,38 @@
+#ifndef GORDER_GRAPH_LOCALITY_PROFILE_H_
+#define GORDER_GRAPH_LOCALITY_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gorder {
+
+/// Static locality analysis of a graph's current numbering — the
+/// quantities that predict cache behaviour before running anything.
+/// Used by the CLI (`--cmd=stats`), tests, and the analysis example.
+struct LocalityProfile {
+  EdgeId num_edges = 0;
+  double avg_gap = 0.0;        // mean |pi_u - pi_v| over directed edges
+  double avg_log2_gap = 0.0;   // mean log2(1 + gap): gap entropy proxy
+  NodeId bandwidth = 0;        // max gap (RCM objective)
+  /// gap_histogram[i] counts edges with gap in [2^i, 2^(i+1)); bucket 0
+  /// holds gap == 1 ... etc. Dense small buckets = good locality.
+  std::vector<std::uint64_t> gap_histogram;
+  /// Fraction of edges whose endpoints' 4-byte per-node entries share
+  /// one 64-byte cache line (gap < 16): the direct "free ride" rate.
+  double same_line_fraction = 0.0;
+  /// Fraction of edges with gap <= w for the paper's window w = 5 and a
+  /// cache-page-ish window of 1024.
+  double within_window5 = 0.0;
+  double within_window1024 = 0.0;
+
+  /// Share of edges with gap < 2^i, from the histogram (i <= 32).
+  double CumulativeBelow(int log2_gap) const;
+};
+
+LocalityProfile ComputeLocalityProfile(const Graph& graph);
+
+}  // namespace gorder
+
+#endif  // GORDER_GRAPH_LOCALITY_PROFILE_H_

@@ -1,0 +1,99 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gorder {
+
+InducedSubgraph ExtractInducedSubgraph(const Graph& graph,
+                                       const std::vector<NodeId>& nodes) {
+  InducedSubgraph result;
+  result.local_to_global = nodes;
+  const NodeId k = static_cast<NodeId>(nodes.size());
+  std::vector<NodeId> global_to_local(graph.NumNodes(), kInvalidNode);
+  for (NodeId i = 0; i < k; ++i) {
+    GORDER_CHECK(nodes[i] < graph.NumNodes());
+    GORDER_CHECK(global_to_local[nodes[i]] == kInvalidNode);  // unique
+    global_to_local[nodes[i]] = i;
+  }
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i < k; ++i) {
+    for (NodeId w : graph.OutNeighbors(nodes[i])) {
+      NodeId j = global_to_local[w];
+      if (j != kInvalidNode) edges.push_back({i, j});
+    }
+  }
+  result.graph = Graph::FromEdges(k, std::move(edges),
+                                  /*keep_self_loops=*/true,
+                                  /*keep_duplicates=*/true);
+  return result;
+}
+
+Graph ReverseGraph(const Graph& graph) {
+  std::vector<Edge> edges;
+  edges.reserve(graph.NumEdges());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    for (NodeId w : graph.OutNeighbors(v)) edges.push_back({w, v});
+  }
+  return Graph::FromEdges(graph.NumNodes(), std::move(edges),
+                          /*keep_self_loops=*/true,
+                          /*keep_duplicates=*/true);
+}
+
+Graph UndirectedClosure(const Graph& graph) {
+  std::vector<Edge> edges;
+  edges.reserve(graph.NumEdges() * 2);
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    for (NodeId w : graph.OutNeighbors(v)) {
+      edges.push_back({v, w});
+      edges.push_back({w, v});
+    }
+  }
+  return Graph::FromEdges(graph.NumNodes(), std::move(edges),
+                          /*keep_self_loops=*/false,
+                          /*keep_duplicates=*/false);
+}
+
+InducedSubgraph LargestWccSubgraph(const Graph& graph) {
+  const NodeId n = graph.NumNodes();
+  std::vector<NodeId> component(n, kInvalidNode);
+  std::vector<NodeId> queue;
+  NodeId num_components = 0;
+  std::vector<NodeId> sizes;
+  for (NodeId root = 0; root < n; ++root) {
+    if (component[root] != kInvalidNode) continue;
+    NodeId comp = num_components++;
+    NodeId size = 0;
+    queue.clear();
+    queue.push_back(root);
+    component[root] = comp;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      NodeId v = queue[head];
+      ++size;
+      auto visit = [&](std::span<const NodeId> nbrs) {
+        for (NodeId w : nbrs) {
+          if (component[w] == kInvalidNode) {
+            component[w] = comp;
+            queue.push_back(w);
+          }
+        }
+      };
+      visit(graph.OutNeighbors(v));
+      visit(graph.InNeighbors(v));
+    }
+    sizes.push_back(size);
+  }
+  NodeId best = 0;
+  for (NodeId c = 1; c < num_components; ++c) {
+    if (sizes[c] > sizes[best]) best = c;
+  }
+  std::vector<NodeId> members;
+  members.reserve(num_components == 0 ? 0 : sizes[best]);
+  for (NodeId v = 0; v < n; ++v) {
+    if (component[v] == best) members.push_back(v);
+  }
+  return ExtractInducedSubgraph(graph, members);
+}
+
+}  // namespace gorder

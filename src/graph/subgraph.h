@@ -1,0 +1,38 @@
+#ifndef GORDER_GRAPH_SUBGRAPH_H_
+#define GORDER_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gorder {
+
+/// Result of extracting an induced subgraph: the subgraph plus the
+/// id mapping back to the parent graph.
+struct InducedSubgraph {
+  Graph graph;                     // local ids 0..|nodes|-1
+  std::vector<NodeId> local_to_global;  // local -> parent id
+};
+
+/// Extracts the subgraph induced by `nodes` (parent ids; must be unique).
+/// Edges with both endpoints in `nodes` are kept; local ids follow the
+/// order of `nodes`. O(sum of member degrees).
+InducedSubgraph ExtractInducedSubgraph(const Graph& graph,
+                                       const std::vector<NodeId>& nodes);
+
+/// The transpose: every edge (u, v) becomes (v, u).
+Graph ReverseGraph(const Graph& graph);
+
+/// The undirected simple closure: for every edge (u, v), both (u, v)
+/// and (v, u) exist in the result (deduplicated).
+Graph UndirectedClosure(const Graph& graph);
+
+/// The subgraph induced by the largest strongly connected component is a
+/// frequent experimental substrate; this returns the largest *weakly*
+/// connected component's induced subgraph (cheaper, and what locality
+/// experiments usually want).
+InducedSubgraph LargestWccSubgraph(const Graph& graph);
+
+}  // namespace gorder
+
+#endif  // GORDER_GRAPH_SUBGRAPH_H_

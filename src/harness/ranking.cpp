@@ -1,0 +1,54 @@
+#include "harness/ranking.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace gorder::harness {
+
+double RankTable::MeanRank(std::size_t method) const {
+  GORDER_CHECK(method < counts.size());
+  double sum = 0.0;
+  int total = 0;
+  for (std::size_t r = 0; r < counts[method].size(); ++r) {
+    sum += static_cast<double>(r) * counts[method][r];
+    total += counts[method][r];
+  }
+  return total == 0 ? 0.0 : sum / total;
+}
+
+RankTable RankSeries(const std::vector<std::vector<double>>& times,
+                     double tie_ratio) {
+  RankTable table;
+  if (times.empty()) return table;
+  const std::size_t num_methods = times[0].size();
+  table.counts.assign(num_methods, std::vector<int>(num_methods, 0));
+  table.num_series = static_cast<int>(times.size());
+
+  std::vector<std::size_t> idx(num_methods);
+  for (const auto& row : times) {
+    GORDER_CHECK(row.size() == num_methods);
+    double best = *std::min_element(row.begin(), row.end());
+    GORDER_CHECK(best > 0.0);
+    for (std::size_t i = 0; i < num_methods; ++i) idx[i] = i;
+    // Effective value: capped at tie_ratio * best when requested, so all
+    // methods beyond the cap collapse into one shared bucket.
+    auto value = [&](std::size_t i) {
+      double v = row[i];
+      if (tie_ratio > 1.0) v = std::min(v, best * tie_ratio);
+      return v;
+    };
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return value(a) < value(b);
+    });
+    std::size_t rank = 0;
+    for (std::size_t i = 0; i < num_methods; ++i) {
+      if (i > 0 && value(idx[i]) > value(idx[i - 1])) rank = i;
+      ++table.counts[idx[i]][rank];
+    }
+  }
+  return table;
+}
+
+}  // namespace gorder::harness

@@ -1,0 +1,33 @@
+#ifndef GORDER_HARNESS_RANKING_H_
+#define GORDER_HARNESS_RANKING_H_
+
+#include <vector>
+
+namespace gorder::harness {
+
+/// Rank histogram in the style of the replication's Figure 6: for every
+/// experiment series (one algorithm on one dataset), methods are ranked
+/// by runtime; `counts[method][rank]` is the number of series in which
+/// `method` finished at `rank` (0 = best).
+struct RankTable {
+  std::vector<std::vector<int>> counts;
+  int num_series = 0;
+
+  /// Mean rank of a method across all series (lower is better).
+  double MeanRank(std::size_t method) const;
+};
+
+/// `times[series][method]`, all rows the same width, strictly positive.
+/// Ties: if `tie_ratio > 1`, runtimes within that factor of the series
+/// minimum beyond... precisely: any two times a <= b with b / a <=
+/// tie_ratio - but transitively applied would merge everything, so the
+/// rule actually used (and what the replication's "above 1.5x Gorder is
+/// equal" amounts to) is bucketing by ratio-to-best: times with
+/// ratio-to-best above `tie_ratio` share the same (worst) rank bucket.
+/// Pass 0 for exact ranking. Equal times always share the better rank.
+RankTable RankSeries(const std::vector<std::vector<double>>& times,
+                     double tie_ratio = 0.0);
+
+}  // namespace gorder::harness
+
+#endif  // GORDER_HARNESS_RANKING_H_

@@ -1,0 +1,93 @@
+#include "order/annealing.h"
+
+#include <cmath>
+
+#include "graph/stats.h"
+#include "util/logging.h"
+
+namespace gorder::order {
+
+namespace {
+
+double GapCost(ArrangementEnergy energy, NodeId a, NodeId b) {
+  double gap = a > b ? a - b : b - a;
+  GORDER_DCHECK(gap > 0);
+  return energy == ArrangementEnergy::kLinear ? gap : std::log2(gap);
+}
+
+}  // namespace
+
+double ArrangementEnergyOf(const Graph& graph, ArrangementEnergy energy) {
+  return energy == ArrangementEnergy::kLinear ? LinearArrangementCost(graph)
+                                              : LogArrangementCost(graph);
+}
+
+AnnealingResult AnnealArrangement(const Graph& graph,
+                                  ArrangementEnergy energy,
+                                  std::uint64_t steps, double standard_energy,
+                                  Rng& rng) {
+  const NodeId n = graph.NumNodes();
+  AnnealingResult result;
+  result.perm = IdentityPermutation(n);
+  result.steps = steps;
+  if (n < 2) return result;
+  auto& pos = result.perm;
+
+  double current_energy = ArrangementEnergyOf(graph, energy);
+
+  // Energy delta of swapping the positions of nodes a and b: only edges
+  // incident to a or b change cost. The edge (a,b)/(b,a), if present,
+  // keeps its gap, but it is simplest (and correct) to evaluate it on
+  // both sides of the swap like any other edge; we just must not count it
+  // twice, hence the skip in b's lists.
+  auto delta_for = [&](NodeId node, NodeId other, NodeId new_pos_node,
+                       NodeId new_pos_other, bool skip_other) {
+    double delta = 0.0;
+    auto scan = [&](std::span<const NodeId> nbrs) {
+      for (NodeId w : nbrs) {
+        if (w == node) continue;  // self-loops never stored, defensive
+        if (skip_other && w == other) continue;
+        NodeId pw = pos[w];
+        NodeId old_pw = pw;
+        NodeId new_pw = pw;
+        if (w == other) {
+          // The other endpoint moves too.
+          new_pw = new_pos_other;
+        }
+        delta += GapCost(energy, new_pos_node, new_pw) -
+                 GapCost(energy, pos[node], old_pw);
+      }
+    };
+    scan(graph.OutNeighbors(node));
+    scan(graph.InNeighbors(node));
+    return delta;
+  };
+
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(n));
+    NodeId b = static_cast<NodeId>(rng.Uniform(n));
+    if (a == b) continue;
+    NodeId pa = pos[a];
+    NodeId pb = pos[b];
+    double e = delta_for(a, b, pb, pa, /*skip_other=*/false) +
+               delta_for(b, a, pa, pb, /*skip_other=*/true);
+    bool accept = e < 0.0;
+    if (!accept && standard_energy > 0.0) {
+      double temperature = 1.0 - static_cast<double>(s) / steps;
+      if (temperature > 0.0) {
+        double p = std::exp(-e / (standard_energy * temperature));
+        accept = rng.UniformDouble() < p;
+      }
+    }
+    if (accept) {
+      pos[a] = pb;
+      pos[b] = pa;
+      current_energy += e;
+      ++result.accepted_swaps;
+    }
+  }
+  result.final_energy = current_energy;
+  return result;
+}
+
+}  // namespace gorder::order

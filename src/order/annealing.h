@@ -1,0 +1,41 @@
+#ifndef GORDER_ORDER_ANNEALING_H_
+#define GORDER_ORDER_ANNEALING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace gorder::order {
+
+/// Which arrangement energy the annealer minimises (replication §2.3):
+///   kLinear: E = sum_{(u,v) in E} |pi_u - pi_v|          (MinLA)
+///   kLog:    E = sum_{(u,v) in E} log2 |pi_u - pi_v|     (MinLogA)
+enum class ArrangementEnergy { kLinear, kLog };
+
+struct AnnealingResult {
+  std::vector<NodeId> perm;  // perm[old] = new
+  double final_energy = 0.0;
+  std::uint64_t accepted_swaps = 0;
+  std::uint64_t steps = 0;
+};
+
+/// Simulated annealing over index swaps, exactly the replication's
+/// procedure: at step s of S the temperature is T = 1 - s/S; a swap of
+/// two uniformly random nodes' indices with energy delta e is accepted if
+/// e < 0, otherwise with probability exp(-e / (k * T)) where k is the
+/// "standard energy". k <= 0 degenerates to pure local search (only
+/// downhill swaps), which is what the replication found best.
+AnnealingResult AnnealArrangement(const Graph& graph,
+                                  ArrangementEnergy energy,
+                                  std::uint64_t steps, double standard_energy,
+                                  Rng& rng);
+
+/// Evaluates the energy of the identity arrangement of `graph` (i.e. of
+/// its current numbering) under `energy`.
+double ArrangementEnergyOf(const Graph& graph, ArrangementEnergy energy);
+
+}  // namespace gorder::order
+
+#endif  // GORDER_ORDER_ANNEALING_H_

@@ -1,0 +1,68 @@
+// Original, Random, InDegSort and ChDFS orderings (replication §2.3).
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "order/ordering.h"
+#include "util/logging.h"
+
+namespace gorder::order {
+
+std::vector<NodeId> OriginalOrder(const Graph& graph) {
+  return IdentityPermutation(graph.NumNodes());
+}
+
+std::vector<NodeId> RandomOrder(const Graph& graph, Rng& rng) {
+  std::vector<NodeId> perm = IdentityPermutation(graph.NumNodes());
+  rng.Shuffle(perm);
+  return perm;
+}
+
+std::vector<NodeId> InDegSortOrder(const Graph& graph) {
+  const NodeId n = graph.NumNodes();
+  // `order[rank] = node`: stable sort by descending in-degree, so equal
+  // degrees keep their original relative position (deterministic).
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return graph.InDegree(a) > graph.InDegree(b);
+  });
+  return InvertPermutation(order);
+}
+
+std::vector<NodeId> ChDfsOrder(const Graph& graph) {
+  const NodeId n = graph.NumNodes();
+  const auto& off = graph.out_offsets();
+  const auto& nbr = graph.out_neighbors();
+  std::vector<NodeId> perm(n, kInvalidNode);
+  NodeId clock = 0;
+  struct Frame {
+    NodeId node;
+    EdgeId cursor;
+  };
+  std::vector<Frame> stack;
+  // Children-DFS: a plain depth-first traversal where children follow
+  // the original index order; the resulting discovery order is the
+  // permutation. Roots are taken in ascending id order per component.
+  for (NodeId root = 0; root < n; ++root) {
+    if (perm[root] != kInvalidNode) continue;
+    perm[root] = clock++;
+    stack.push_back({root, off[root]});
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.cursor == off[top.node + 1]) {
+        stack.pop_back();
+        continue;
+      }
+      NodeId v = nbr[top.cursor++];
+      if (perm[v] == kInvalidNode) {
+        perm[v] = clock++;
+        stack.push_back({v, off[v]});
+      }
+    }
+  }
+  return perm;
+}
+
+}  // namespace gorder::order

@@ -1,0 +1,82 @@
+#include "order/degree_grouping.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace gorder::order {
+
+std::vector<NodeId> OutDegSortOrder(const Graph& graph) {
+  const NodeId n = graph.NumNodes();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return graph.OutDegree(a) > graph.OutDegree(b);
+  });
+  return InvertPermutation(order);
+}
+
+namespace {
+
+double AverageOutDegree(const Graph& graph) {
+  if (graph.NumNodes() == 0) return 0.0;
+  return static_cast<double>(graph.NumEdges()) / graph.NumNodes();
+}
+
+}  // namespace
+
+std::vector<NodeId> HubSortOrder(const Graph& graph) {
+  const NodeId n = graph.NumNodes();
+  const double avg = AverageOutDegree(graph);
+  std::vector<NodeId> hubs, rest;
+  for (NodeId v = 0; v < n; ++v) {
+    (graph.OutDegree(v) > avg ? hubs : rest).push_back(v);
+  }
+  std::stable_sort(hubs.begin(), hubs.end(), [&](NodeId a, NodeId b) {
+    return graph.OutDegree(a) > graph.OutDegree(b);
+  });
+  std::vector<NodeId> perm(n);
+  NodeId rank = 0;
+  for (NodeId v : hubs) perm[v] = rank++;
+  for (NodeId v : rest) perm[v] = rank++;
+  return perm;
+}
+
+std::vector<NodeId> HubClusterOrder(const Graph& graph) {
+  const NodeId n = graph.NumNodes();
+  const double avg = AverageOutDegree(graph);
+  std::vector<NodeId> perm(n);
+  NodeId rank = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (graph.OutDegree(v) > avg) perm[v] = rank++;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (graph.OutDegree(v) <= avg) perm[v] = rank++;
+  }
+  return perm;
+}
+
+std::vector<NodeId> DbgOrder(const Graph& graph, int num_groups) {
+  GORDER_CHECK(num_groups >= 2);
+  const NodeId n = graph.NumNodes();
+  const double avg = std::max(1.0, AverageOutDegree(graph));
+  // Group g holds degrees in [avg * 2^(g-1), avg * 2^g); group 0 is
+  // everything below the average, the top group is unbounded.
+  auto group_of = [&](NodeId v) {
+    double d = graph.OutDegree(v);
+    int g = 0;
+    while (g + 1 < num_groups && d > avg * (1 << g)) ++g;
+    return g;
+  };
+  std::vector<std::vector<NodeId>> groups(num_groups);
+  for (NodeId v = 0; v < n; ++v) groups[group_of(v)].push_back(v);
+  std::vector<NodeId> perm(n);
+  NodeId rank = 0;
+  for (int g = num_groups - 1; g >= 0; --g) {
+    for (NodeId v : groups[g]) perm[v] = rank++;
+  }
+  return perm;
+}
+
+}  // namespace gorder::order

@@ -1,0 +1,42 @@
+#ifndef GORDER_ORDER_DEGREE_GROUPING_H_
+#define GORDER_ORDER_DEGREE_GROUPING_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gorder::order {
+
+/// Degree-driven orderings from the reordering literature the paper
+/// spawned (Balaji & Lucia, "When is Graph Reordering an Optimization?",
+/// IISWC 2018; Faldu et al. DBG). All of them chase the same effect the
+/// paper attributes to InDegSort: packing the hot, high-degree nodes'
+/// state into few cache lines — but unlike a full sort they try not to
+/// destroy whatever locality the original numbering already had.
+///
+/// Hotness here is out-degree: in the pull direction (PageRank's gather
+/// of contrib[u]) a node's state is read once per out-edge, so
+/// out-degree is the access frequency of its cache line.
+
+/// Descending out-degree, stable (the out-degree dual of the paper's
+/// InDegSort).
+std::vector<NodeId> OutDegSortOrder(const Graph& graph);
+
+/// HubSort: nodes with out-degree > average are "hubs"; hubs are placed
+/// first in descending-degree order, all other nodes keep their original
+/// relative order afterwards.
+std::vector<NodeId> HubSortOrder(const Graph& graph);
+
+/// HubCluster: like HubSort but hubs keep their *original* relative
+/// order too — a pure partition, preserving maximal baseline locality.
+std::vector<NodeId> HubClusterOrder(const Graph& graph);
+
+/// DBG (degree-based grouping): nodes are binned into `num_groups`
+/// power-of-two degree classes (highest class first); the original order
+/// is preserved within every class. Coarser than a sort, cheaper to
+/// compute, and keeps intra-class locality.
+std::vector<NodeId> DbgOrder(const Graph& graph, int num_groups = 8);
+
+}  // namespace gorder::order
+
+#endif  // GORDER_ORDER_DEGREE_GROUPING_H_

@@ -1,0 +1,72 @@
+#include "order/exact.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace gorder::order {
+
+std::uint64_t PairScore(const Graph& graph, NodeId u, NodeId v) {
+  std::uint64_t sn = (graph.HasEdge(u, v) ? 1 : 0) +
+                     (graph.HasEdge(v, u) ? 1 : 0);
+  auto a = graph.InNeighbors(u);
+  auto b = graph.InNeighbors(v);
+  std::uint64_t ss = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++ss;
+      ++ia;
+      ++ib;
+    }
+  }
+  return sn + ss;
+}
+
+std::uint64_t ExactWindowOneOptimum(const Graph& graph) {
+  const NodeId n = graph.NumNodes();
+  GORDER_CHECK(n >= 1 && n <= 20);
+  // Precompute the symmetric pair-score matrix.
+  std::vector<std::uint32_t> score(static_cast<std::size_t>(n) * n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      auto s = static_cast<std::uint32_t>(PairScore(graph, u, v));
+      score[u * n + v] = s;
+      score[v * n + u] = s;
+    }
+  }
+  const std::uint32_t full = (1u << n) - 1;
+  // dp[mask * n + last] = best F over orderings of `mask` ending at
+  // `last`. Infeasible states stay at kUnset.
+  constexpr std::uint64_t kUnset = ~0ULL;
+  std::vector<std::uint64_t> dp(static_cast<std::size_t>(full + 1) * n,
+                                kUnset);
+  for (NodeId v = 0; v < n; ++v) dp[(1u << v) * n + v] = 0;
+  for (std::uint32_t mask = 1; mask <= full; ++mask) {
+    for (NodeId last = 0; last < n; ++last) {
+      std::uint64_t cur = dp[static_cast<std::size_t>(mask) * n + last];
+      if (cur == kUnset) continue;
+      for (NodeId next = 0; next < n; ++next) {
+        if (mask & (1u << next)) continue;
+        std::uint32_t nmask = mask | (1u << next);
+        std::uint64_t cand = cur + score[last * n + next];
+        auto& slot = dp[static_cast<std::size_t>(nmask) * n + next];
+        if (slot == kUnset || cand > slot) slot = cand;
+      }
+    }
+  }
+  std::uint64_t best = 0;
+  for (NodeId last = 0; last < n; ++last) {
+    std::uint64_t v = dp[static_cast<std::size_t>(full) * n + last];
+    if (v != kUnset) best = std::max(best, v);
+  }
+  return best;
+}
+
+}  // namespace gorder::order

@@ -1,0 +1,28 @@
+#ifndef GORDER_ORDER_EXACT_H_
+#define GORDER_ORDER_EXACT_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace gorder::order {
+
+/// Exact maximum of the Gorder objective F(pi) for window w = 1, by
+/// Held-Karp-style dynamic programming over node subsets: with w = 1 the
+/// objective decomposes over consecutive pairs, so it is exactly a
+/// maximum-weight Hamiltonian path on pair scores S(u, v) — the
+/// connection the paper's NP-hardness proof uses (reduction from maximum
+/// TSP). O(2^n * n^2) time and O(2^n * n) memory: n <= 20 enforced.
+///
+/// Used by tests to validate the paper's approximation guarantee
+/// empirically: the greedy's F at w=1 must be >= 1/2 of this optimum
+/// (Theorem: the window greedy is a 1/(2w)-approximation).
+std::uint64_t ExactWindowOneOptimum(const Graph& graph);
+
+/// The pair score S(u, v) = Sn + Ss used by the objective (exposed so
+/// tests can cross-check the DP's score table).
+std::uint64_t PairScore(const Graph& graph, NodeId u, NodeId v);
+
+}  // namespace gorder::order
+
+#endif  // GORDER_ORDER_EXACT_H_

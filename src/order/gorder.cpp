@@ -1,0 +1,105 @@
+#include "order/gorder.h"
+
+#include "order/unit_heap.h"
+#include "util/logging.h"
+
+namespace gorder::order {
+
+std::vector<NodeId> GorderOrder(const Graph& graph,
+                                const OrderingParams& params) {
+  const NodeId n = graph.NumNodes();
+  const NodeId w = params.window;
+  GORDER_CHECK(w >= 1);
+  std::vector<NodeId> perm(n, kInvalidNode);
+  if (n == 0) return perm;
+
+  UnitHeap heap(n);
+  // Lazy-decrement mode: window-exit decrements accumulate here and are
+  // settled only when the node surfaces at the top of the heap (the
+  // paper's priority-queue optimisation). Keys in the heap are then
+  // upper bounds on the true score, which is safe for a max-extraction
+  // greedy: a popped node with pending debt is re-filed at its true key.
+  std::vector<std::int32_t> pending(params.gorder_lazy_decrements ? n : 0,
+                                    0);
+
+  // Applies the score delta caused by `ve` entering (delta=+1) or leaving
+  // (delta=-1) the window to every unplaced related node:
+  //   - Sn: out-neighbours of ve (edge ve->c) and in-neighbours of ve
+  //     (edge c->ve);
+  //   - Ss: co-out-neighbours of each in-neighbour u of ve (common
+  //     in-neighbour u), skipping hubs beyond gorder_hub_cap.
+  // Placed nodes are no longer in the heap, so Contains() filters them;
+  // the same rule applies on entry and exit, which keeps every key equal
+  // to the (capped) score against the current window and never negative.
+  auto apply = [&](NodeId ve, bool entering) {
+    auto bump = [&](NodeId c) {
+      if (!heap.Contains(c)) return;
+      if (entering) {
+        heap.Increment(c);
+      } else if (params.gorder_lazy_decrements) {
+        ++pending[c];
+      } else {
+        heap.Decrement(c);
+      }
+    };
+    if (params.gorder_neighbor_score) {
+      for (NodeId c : graph.OutNeighbors(ve)) bump(c);
+    }
+    for (NodeId u : graph.InNeighbors(ve)) {
+      if (params.gorder_neighbor_score) bump(u);
+      if (!params.gorder_sibling_score) continue;
+      if (params.gorder_hub_cap != 0 &&
+          graph.OutDegree(u) > params.gorder_hub_cap) {
+        continue;
+      }
+      for (NodeId c : graph.OutNeighbors(u)) bump(c);
+    }
+  };
+
+  // Seed: the maximum in-degree node (ties -> lowest id), as in the
+  // reference implementation.
+  NodeId seed = 0;
+  for (NodeId v = 1; v < n; ++v) {
+    if (graph.InDegree(v) > graph.InDegree(seed)) seed = v;
+  }
+
+  // Circular buffer holding the window (at most w most recent placements).
+  std::vector<NodeId> window(w, kInvalidNode);
+  NodeId window_size = 0;
+  NodeId window_head = 0;  // index of the oldest entry when full
+
+  NodeId next_rank = 0;
+  auto place = [&](NodeId v) {
+    perm[v] = next_rank++;
+    apply(v, /*entering=*/true);
+    if (window_size == w) {
+      NodeId oldest = window[window_head];
+      apply(oldest, /*entering=*/false);
+      window[window_head] = v;
+      window_head = (window_head + 1) % w;
+    } else {
+      window[(window_head + window_size) % w] = v;
+      ++window_size;
+    }
+  };
+
+  heap.Remove(seed);
+  place(seed);
+  while (next_rank < n) {
+    NodeId v = heap.ExtractMax();
+    GORDER_DCHECK(v != kInvalidNode);
+    if (params.gorder_lazy_decrements && pending[v] > 0) {
+      // Stale key: settle the debt and re-file; the loop will pop the
+      // true maximum next (possibly v again, now with an exact key).
+      std::int32_t true_key = heap.KeyOf(v) - pending[v];
+      GORDER_DCHECK(true_key >= 0);
+      pending[v] = 0;
+      heap.Insert(v, true_key);
+      continue;
+    }
+    place(v);
+  }
+  return perm;
+}
+
+}  // namespace gorder::order

@@ -1,0 +1,144 @@
+#include "order/incremental_gorder.h"
+
+#include <algorithm>
+
+#include "order/gorder.h"
+#include "util/logging.h"
+
+namespace gorder::order {
+
+IncrementalGorder::IncrementalGorder(const Graph& base,
+                                     const OrderingParams& params)
+    : graph_(base), params_(params) {
+  next_.assign(base.NumNodes(), kInvalidNode);
+  prev_.assign(base.NumNodes(), kInvalidNode);
+  if (base.NumNodes() > 0) {
+    RebuildLinksFromPermutation(GorderOrder(base, params_));
+  }
+  edges_at_build_ = std::max<EdgeId>(1, base.NumEdges());
+}
+
+void IncrementalGorder::RebuildLinksFromPermutation(
+    const std::vector<NodeId>& perm) {
+  const NodeId n = static_cast<NodeId>(perm.size());
+  std::vector<NodeId> order = InvertPermutation(perm);
+  next_.assign(n, kInvalidNode);
+  prev_.assign(n, kInvalidNode);
+  head_ = n > 0 ? order.front() : kInvalidNode;
+  tail_ = n > 0 ? order.back() : kInvalidNode;
+  for (NodeId r = 0; r + 1 < n; ++r) {
+    next_[order[r]] = order[r + 1];
+    prev_[order[r + 1]] = order[r];
+  }
+}
+
+void IncrementalGorder::Unlink(NodeId v) {
+  if (prev_[v] != kInvalidNode) next_[prev_[v]] = next_[v];
+  if (next_[v] != kInvalidNode) prev_[next_[v]] = prev_[v];
+  if (head_ == v) head_ = next_[v];
+  if (tail_ == v) tail_ = prev_[v];
+  prev_[v] = next_[v] = kInvalidNode;
+}
+
+void IncrementalGorder::SpliceAfter(NodeId v, NodeId anchor) {
+  GORDER_DCHECK(anchor != v);
+  NodeId after = next_[anchor];
+  next_[anchor] = v;
+  prev_[v] = anchor;
+  next_[v] = after;
+  if (after != kInvalidNode) {
+    prev_[after] = v;
+  } else {
+    tail_ = v;
+  }
+}
+
+void IncrementalGorder::AppendTail(NodeId v) {
+  if (tail_ == kInvalidNode) {
+    head_ = tail_ = v;
+    return;
+  }
+  next_[tail_] = v;
+  prev_[v] = tail_;
+  tail_ = v;
+}
+
+NodeId IncrementalGorder::AddNode() {
+  NodeId v = graph_.AddNode();
+  next_.push_back(kInvalidNode);
+  prev_.push_back(kInvalidNode);
+  AppendTail(v);
+  return v;
+}
+
+NodeId IncrementalGorder::PickAnchor(NodeId v) const {
+  // Direct relations only (the Sn part of the score): count occurrences
+  // of each neighbour; the densest relation wins.
+  NodeId best = kInvalidNode;
+  std::size_t best_count = 0;
+  auto consider = [&](NodeId u) {
+    if (u == v) return;
+    // Count u's multiplicity across v's two incidence lists (<= 2).
+    std::size_t count = 1;
+    if (graph_.HasEdge(v, u) && graph_.HasEdge(u, v)) count = 2;
+    // Prefer stronger ties, then higher-degree anchors (hubs are placed
+    // near the front, keeping new leaves close to their hub cluster).
+    if (count > best_count ||
+        (count == best_count && best != kInvalidNode &&
+         graph_.OutDegree(u) + graph_.InDegree(u) >
+             graph_.OutDegree(best) + graph_.InDegree(best))) {
+      best_count = count;
+      best = u;
+    }
+  };
+  for (NodeId u : graph_.OutNeighbors(v)) consider(u);
+  for (NodeId u : graph_.InNeighbors(v)) consider(u);
+  return best;
+}
+
+bool IncrementalGorder::AddEdge(NodeId src, NodeId dst) {
+  if (!graph_.AddEdge(src, dst)) return false;
+  ++edges_since_build_;
+  // Local repair: re-splice the endpoint with the smaller degree next to
+  // the other one if this is (nearly) its first relation — i.e. attach
+  // fresh nodes to their cluster; well-connected nodes stay put.
+  NodeId mover = graph_.OutDegree(src) + graph_.InDegree(src) <=
+                         graph_.OutDegree(dst) + graph_.InDegree(dst)
+                     ? src
+                     : dst;
+  NodeId other = mover == src ? dst : src;
+  // Re-splice while the mover is still lightly connected (a handful of
+  // relations): fresh arrivals keep improving their position as their
+  // first edges land; established nodes stay put.
+  if (graph_.OutDegree(mover) + graph_.InDegree(mover) <= 4) {
+    NodeId anchor = PickAnchor(mover);
+    if (anchor == kInvalidNode) anchor = other;
+    Unlink(mover);
+    SpliceAfter(mover, anchor);
+  }
+  return true;
+}
+
+std::vector<NodeId> IncrementalGorder::CurrentPermutation() const {
+  std::vector<NodeId> perm(graph_.NumNodes(), kInvalidNode);
+  NodeId rank = 0;
+  for (NodeId v = head_; v != kInvalidNode; v = next_[v]) {
+    perm[v] = rank++;
+  }
+  GORDER_CHECK(rank == graph_.NumNodes());
+  return perm;
+}
+
+double IncrementalGorder::StalenessRatio() const {
+  return static_cast<double>(edges_since_build_) /
+         static_cast<double>(edges_at_build_);
+}
+
+void IncrementalGorder::FullRebuild() {
+  Graph snapshot = graph_.ToCsr();
+  RebuildLinksFromPermutation(GorderOrder(snapshot, params_));
+  edges_at_build_ = std::max<EdgeId>(1, snapshot.NumEdges());
+  edges_since_build_ = 0;
+}
+
+}  // namespace gorder::order

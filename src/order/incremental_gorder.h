@@ -1,0 +1,68 @@
+#ifndef GORDER_ORDER_INCREMENTAL_GORDER_H_
+#define GORDER_ORDER_INCREMENTAL_GORDER_H_
+
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "order/ordering.h"
+
+namespace gorder::order {
+
+/// Incremental ordering maintenance for evolving graphs — the adaptation
+/// the paper's discussion calls for ("Gorder needs to be adapted to
+/// integrate the modifications without running the whole process
+/// again").
+///
+/// Strategy: the arrangement is kept as a doubly-linked sequence of
+/// nodes. The base graph gets a full Gorder; afterwards,
+///   - a new node is spliced into the sequence right after the placed
+///     neighbour it shares the most edges/siblings with (its best
+///     insertion point under the S score restricted to direct
+///     relations), or at the tail if it has no placed neighbour yet;
+///   - a new edge between existing nodes may re-splice the lower-degree
+///     endpoint next to the other if they are currently far apart (a
+///     cheap local repair).
+/// `StalenessRatio()` tracks how much the graph has drifted since the
+/// last full rebuild so callers can schedule `FullRebuild()` — the
+/// trade-off bench/ext_dynamic quantifies.
+class IncrementalGorder {
+ public:
+  IncrementalGorder(const Graph& base, const OrderingParams& params = {});
+
+  /// Mutators mirror DynamicGraph and keep the arrangement in sync.
+  NodeId AddNode();
+  bool AddEdge(NodeId src, NodeId dst);
+
+  /// Current arrangement as `perm[node] = rank` (O(n) renumber).
+  std::vector<NodeId> CurrentPermutation() const;
+
+  /// Edges inserted since the last full (re)build, relative to the
+  /// edge count at that build.
+  double StalenessRatio() const;
+
+  /// Recomputes Gorder from scratch on the current graph.
+  void FullRebuild();
+
+  const DynamicGraph& graph() const { return graph_; }
+
+ private:
+  void SpliceAfter(NodeId v, NodeId anchor);
+  void Unlink(NodeId v);
+  void AppendTail(NodeId v);
+  /// Best placed anchor for v: the neighbour with the largest direct
+  /// relation count to v (ties: higher degree).
+  NodeId PickAnchor(NodeId v) const;
+  void RebuildLinksFromPermutation(const std::vector<NodeId>& perm);
+
+  DynamicGraph graph_;
+  OrderingParams params_;
+  std::vector<NodeId> next_, prev_;
+  NodeId head_ = kInvalidNode;
+  NodeId tail_ = kInvalidNode;
+  EdgeId edges_at_build_ = 0;
+  EdgeId edges_since_build_ = 0;
+};
+
+}  // namespace gorder::order
+
+#endif  // GORDER_ORDER_INCREMENTAL_GORDER_H_

@@ -1,0 +1,105 @@
+// Linear Deterministic Greedy streaming partitioner (Stanton & Kliot,
+// KDD 2012) used as an ordering: nodes stream in original id order into
+// ceil(n/k) bins of capacity k; each node joins the bin maximising
+//     (1 + |N(u) & B|) * (1 - |B| / k),
+// and the final arrangement concatenates the bins. The paper picks
+// k = 64 so one bin of per-node state spans about one cache line.
+
+#include <vector>
+
+#include "order/ordering.h"
+#include "util/logging.h"
+
+namespace gorder::order {
+
+std::vector<NodeId> LdgOrder(const Graph& graph, NodeId bin_capacity) {
+  const NodeId n = graph.NumNodes();
+  const NodeId k = bin_capacity;
+  GORDER_CHECK(k >= 1);
+  std::vector<NodeId> perm(n, kInvalidNode);
+  if (n == 0) return perm;
+  const NodeId num_bins = (n + k - 1) / k;
+
+  std::vector<NodeId> bin_of(n, kInvalidNode);
+  std::vector<NodeId> load(num_bins, 0);
+
+  // Bins indexed by load, so the best bin with no placed neighbours (the
+  // least-loaded one) is found in O(1). Loads only grow.
+  std::vector<std::vector<NodeId>> bins_by_load(k + 1);
+  std::vector<NodeId> level_pos(num_bins);  // index of bin in its level
+  bins_by_load[0].reserve(num_bins);
+  for (NodeId b = num_bins; b > 0; --b) {
+    level_pos[b - 1] = static_cast<NodeId>(bins_by_load[0].size());
+    bins_by_load[0].push_back(b - 1);
+  }
+  NodeId min_load = 0;
+
+  // Scratch: neighbour-count per candidate bin for the current node.
+  std::vector<NodeId> count(num_bins, 0);
+  std::vector<NodeId> touched;
+
+  for (NodeId u = 0; u < n; ++u) {
+    touched.clear();
+    auto tally = [&](NodeId v) {
+      NodeId b = bin_of[v];
+      if (b == kInvalidNode) return;
+      if (count[b] == 0) touched.push_back(b);
+      ++count[b];
+    };
+    for (NodeId v : graph.OutNeighbors(u)) tally(v);
+    for (NodeId v : graph.InNeighbors(u)) tally(v);
+
+    // Candidate 1: best bin containing placed neighbours.
+    double best_score = -1.0;
+    NodeId best_bin = kInvalidNode;
+    for (NodeId b : touched) {
+      double score = (1.0 + count[b]) *
+                     (1.0 - static_cast<double>(load[b]) / k);
+      if (score > best_score ||
+          (score == best_score && b < best_bin)) {
+        best_score = score;
+        best_bin = b;
+      }
+    }
+    // Candidate 2: the least-loaded bin (score (1+0)*(1-load/k)).
+    while (bins_by_load[min_load].empty()) {
+      ++min_load;
+      GORDER_CHECK(min_load <= k);
+    }
+    NodeId spill_bin = bins_by_load[min_load].back();
+    double spill_score = 1.0 - static_cast<double>(min_load) / k;
+    if (spill_score > best_score) {
+      best_bin = spill_bin;
+      best_score = spill_score;
+    }
+    GORDER_CHECK(best_bin != kInvalidNode && load[best_bin] < k);
+
+    bin_of[u] = best_bin;
+    // Re-file the chosen bin under its new load (O(1) swap-remove).
+    auto& level = bins_by_load[load[best_bin]];
+    NodeId pos = level_pos[best_bin];
+    level[pos] = level.back();
+    level_pos[level[pos]] = pos;
+    level.pop_back();
+    ++load[best_bin];
+    level_pos[best_bin] = static_cast<NodeId>(
+        bins_by_load[load[best_bin]].size());
+    bins_by_load[load[best_bin]].push_back(best_bin);
+
+    for (NodeId b : touched) count[b] = 0;
+  }
+
+  // Concatenate bins: rank nodes bin-major, preserving stream order
+  // within a bin.
+  std::vector<NodeId> bin_rank_start(num_bins + 1, 0);
+  for (NodeId b = 0; b < num_bins; ++b) {
+    bin_rank_start[b + 1] = bin_rank_start[b] + load[b];
+  }
+  std::vector<NodeId> cursor(bin_rank_start.begin(), bin_rank_start.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    perm[u] = cursor[bin_of[u]]++;
+  }
+  return perm;
+}
+
+}  // namespace gorder::order

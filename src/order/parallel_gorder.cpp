@@ -1,0 +1,90 @@
+#include "order/parallel_gorder.h"
+
+#include <atomic>
+#include <thread>
+
+#include "order/gorder.h"
+#include "order/metis_like.h"
+#include "util/logging.h"
+
+namespace gorder::order {
+
+std::vector<NodeId> ParallelGorderOrder(const Graph& graph,
+                                        const OrderingParams& params,
+                                        int num_parts, int num_threads) {
+  const NodeId n = graph.NumNodes();
+  GORDER_CHECK(num_parts >= 1);
+  std::vector<NodeId> perm(n, kInvalidNode);
+  if (n == 0) return perm;
+  if (num_parts == 1 || n < static_cast<NodeId>(num_parts) * 4) {
+    return GorderOrder(graph, params);
+  }
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(
+        std::min<unsigned>(num_parts, std::thread::hardware_concurrency()));
+    if (num_threads < 1) num_threads = 1;
+  }
+
+  // 1. Region layout: the Metis-like recursive bisection already numbers
+  // nodes region-contiguously; cutting its arrangement into num_parts
+  // equal rank ranges yields the parts.
+  MetisLikeParams mp;
+  mp.seed = params.seed;
+  mp.leaf_size = std::max<NodeId>(16, n / (4 * num_parts));
+  std::vector<NodeId> region_perm = MetisLikeOrder(graph, mp);
+  std::vector<NodeId> region_order = InvertPermutation(region_perm);
+
+  struct Part {
+    NodeId rank_begin = 0;
+    NodeId rank_end = 0;  // exclusive
+  };
+  std::vector<Part> parts(num_parts);
+  for (int p = 0; p < num_parts; ++p) {
+    parts[p].rank_begin = static_cast<NodeId>(
+        static_cast<std::uint64_t>(n) * p / num_parts);
+    parts[p].rank_end = static_cast<NodeId>(
+        static_cast<std::uint64_t>(n) * (p + 1) / num_parts);
+  }
+
+  // 2. Per-part sequential Gorder on the induced subgraph, in parallel.
+  // Parts are claimed from an atomic counter so threads load-balance.
+  std::atomic<int> next_part{0};
+  auto worker = [&]() {
+    std::vector<NodeId> global_to_local(n, kInvalidNode);
+    while (true) {
+      int p = next_part.fetch_add(1);
+      if (p >= num_parts) return;
+      const Part& part = parts[p];
+      const NodeId k = part.rank_end - part.rank_begin;
+      if (k == 0) continue;
+      std::vector<NodeId> members(k);
+      for (NodeId i = 0; i < k; ++i) {
+        members[i] = region_order[part.rank_begin + i];
+        global_to_local[members[i]] = i;
+      }
+      std::vector<Edge> edges;
+      for (NodeId i = 0; i < k; ++i) {
+        for (NodeId w : graph.OutNeighbors(members[i])) {
+          NodeId j = global_to_local[w];
+          if (j != kInvalidNode) edges.push_back({i, j});
+        }
+      }
+      Graph sub = Graph::FromEdges(k, std::move(edges),
+                                   /*keep_self_loops=*/true,
+                                   /*keep_duplicates=*/true);
+      std::vector<NodeId> local = GorderOrder(sub, params);
+      for (NodeId i = 0; i < k; ++i) {
+        // Writes are disjoint across parts: no synchronisation needed.
+        perm[members[i]] = part.rank_begin + local[i];
+        global_to_local[members[i]] = kInvalidNode;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  return perm;
+}
+
+}  // namespace gorder::order

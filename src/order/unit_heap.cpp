@@ -1,0 +1,87 @@
+#include "order/unit_heap.h"
+
+#include "util/logging.h"
+
+namespace gorder::order {
+
+UnitHeap::UnitHeap(NodeId n)
+    : key_(n, 0),
+      prev_(n, kInvalidNode),
+      next_(n, kInvalidNode),
+      bucket_head_(1, kInvalidNode),
+      in_heap_(n, true),
+      size_(n) {
+  // Build the key-0 bucket by pushing ids in reverse so the list front is
+  // node 0 (deterministic tie-breaking for the initial extraction).
+  for (NodeId v = n; v > 0; --v) PushFront(v - 1, 0);
+}
+
+void UnitHeap::Unlink(NodeId v) {
+  NodeId p = prev_[v];
+  NodeId nx = next_[v];
+  if (p != kInvalidNode) {
+    next_[p] = nx;
+  } else {
+    bucket_head_[key_[v]] = nx;
+  }
+  if (nx != kInvalidNode) prev_[nx] = p;
+  prev_[v] = next_[v] = kInvalidNode;
+}
+
+void UnitHeap::PushFront(NodeId v, std::int32_t key) {
+  if (static_cast<std::size_t>(key) >= bucket_head_.size()) {
+    bucket_head_.resize(key + 1, kInvalidNode);
+  }
+  NodeId head = bucket_head_[key];
+  prev_[v] = kInvalidNode;
+  next_[v] = head;
+  if (head != kInvalidNode) prev_[head] = v;
+  bucket_head_[key] = v;
+  key_[v] = key;
+  if (key > max_key_) max_key_ = key;
+}
+
+void UnitHeap::Increment(NodeId v) {
+  GORDER_DCHECK(in_heap_[v]);
+  std::int32_t k = key_[v];
+  Unlink(v);
+  PushFront(v, k + 1);
+}
+
+void UnitHeap::Decrement(NodeId v) {
+  GORDER_DCHECK(in_heap_[v]);
+  std::int32_t k = key_[v];
+  GORDER_DCHECK(k > 0);
+  Unlink(v);
+  PushFront(v, k - 1);
+}
+
+NodeId UnitHeap::ExtractMax() {
+  if (size_ == 0) return kInvalidNode;
+  while (bucket_head_[max_key_] == kInvalidNode) {
+    GORDER_DCHECK(max_key_ > 0);
+    --max_key_;
+  }
+  NodeId v = bucket_head_[max_key_];
+  Unlink(v);
+  in_heap_[v] = false;
+  --size_;
+  return v;
+}
+
+void UnitHeap::Insert(NodeId v, std::int32_t key) {
+  GORDER_DCHECK(!in_heap_[v]);
+  GORDER_DCHECK(key >= 0);
+  in_heap_[v] = true;
+  ++size_;
+  PushFront(v, key);
+}
+
+void UnitHeap::Remove(NodeId v) {
+  GORDER_DCHECK(in_heap_[v]);
+  Unlink(v);
+  in_heap_[v] = false;
+  --size_;
+}
+
+}  // namespace gorder::order

@@ -1,0 +1,65 @@
+#ifndef GORDER_ORDER_UNIT_HEAP_H_
+#define GORDER_ORDER_UNIT_HEAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace gorder::order {
+
+/// Priority queue specialised for Gorder's access pattern: every key
+/// change is +-1 ("unit"), so elements live in intrusive doubly-linked
+/// bucket lists indexed by key and all operations are O(1) (ExtractMax is
+/// amortised O(1): the max-key cursor only descends by as much as the
+/// increments raised it).
+///
+/// This replaces the general-purpose heap the naive greedy would need and
+/// is the data structure the paper calls the "unit heap" (replication
+/// §2.3 "a complex structure called unit heap, made of a linked list and
+/// pointers to different positions").
+class UnitHeap {
+ public:
+  /// All n elements start present with key 0.
+  explicit UnitHeap(NodeId n);
+
+  NodeId size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool Contains(NodeId v) const { return in_heap_[v]; }
+  std::int32_t KeyOf(NodeId v) const { return key_[v]; }
+
+  /// key[v] += 1. v must be present.
+  void Increment(NodeId v);
+  /// key[v] -= 1. v must be present with key > 0.
+  void Decrement(NodeId v);
+
+  /// Removes and returns an element of maximum key (ties: the most
+  /// recently filed, which biases toward recently-touched nodes exactly
+  /// like the reference implementation). Returns kInvalidNode if empty.
+  NodeId ExtractMax();
+
+  /// Removes v without returning it (used when the caller seeds the
+  /// ordering with a chosen node). v must be present.
+  void Remove(NodeId v);
+
+  /// Re-inserts a previously removed element at the given key (used by
+  /// the lazy-decrement Gorder variant to re-file a popped node whose
+  /// key was stale). v must be absent; key must be >= 0.
+  void Insert(NodeId v, std::int32_t key);
+
+ private:
+  void Unlink(NodeId v);
+  void PushFront(NodeId v, std::int32_t key);
+
+  std::vector<std::int32_t> key_;
+  std::vector<NodeId> prev_;
+  std::vector<NodeId> next_;
+  std::vector<NodeId> bucket_head_;  // indexed by key
+  std::vector<bool> in_heap_;
+  NodeId size_ = 0;
+  std::int32_t max_key_ = 0;
+};
+
+}  // namespace gorder::order
+
+#endif  // GORDER_ORDER_UNIT_HEAP_H_

@@ -1,0 +1,53 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gorder {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Flags::Has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::GetInt(const std::string& key, std::int64_t def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : std::strtoll(it->second.c_str(),
+                                                  nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+}  // namespace gorder

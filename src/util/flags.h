@@ -1,0 +1,31 @@
+#ifndef GORDER_UTIL_FLAGS_H_
+#define GORDER_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gorder {
+
+/// Tiny `--key=value` / `--flag` command-line parser for the benchmark and
+/// example binaries. Unknown positional arguments are rejected so typos in
+/// experiment scripts fail loudly instead of silently running defaults.
+class Flags {
+ public:
+  /// Parses argv. Aborts with a usage message on malformed input.
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& def) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace gorder
+
+#endif  // GORDER_UTIL_FLAGS_H_

@@ -1,0 +1,38 @@
+#ifndef GORDER_UTIL_LOGGING_H_
+#define GORDER_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gorder::internal_logging {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace gorder::internal_logging
+
+/// Always-on invariant check. Used for programmer errors that must never
+/// happen in a correct program (corrupt CSR, invalid permutation, ...).
+/// The library deliberately aborts rather than throwing: these are logic
+/// bugs, not recoverable conditions.
+#define GORDER_CHECK(expr)                                             \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::gorder::internal_logging::CheckFailed(__FILE__, __LINE__,      \
+                                              #expr);                  \
+    }                                                                  \
+  } while (0)
+
+/// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define GORDER_DCHECK(expr) GORDER_CHECK(expr)
+#else
+#define GORDER_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#endif
+
+#endif  // GORDER_UTIL_LOGGING_H_

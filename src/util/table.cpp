@@ -1,0 +1,89 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gorder {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  GORDER_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  GORDER_CHECK(row.size() <= header_.size());
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
+                   static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(header_);
+  std::size_t total = header_.size() - 1;
+  for (auto w : width) total += w + 1;
+  std::string sep(total, '-');
+  std::fprintf(out, "%s\n", sep.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::FILE* out) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%s", c == 0 ? "" : ",", row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::Num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string TablePrinter::Duration(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.0fms", seconds * 1e3);
+  } else if (seconds < 100.0) {
+    std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+  } else if (seconds < 3600.0) {
+    std::snprintf(buf, sizeof buf, "%.1fm", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fh", seconds / 3600.0);
+  }
+  return buf;
+}
+
+std::string TablePrinter::Count(double value) {
+  char buf[64];
+  if (value < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+  } else if (value < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fK", value / 1e3);
+  } else if (value < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1fM", value / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fG", value / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace gorder

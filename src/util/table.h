@@ -1,0 +1,42 @@
+#ifndef GORDER_UTIL_TABLE_H_
+#define GORDER_UTIL_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gorder {
+
+/// Minimal aligned-console-table printer used by the benchmark harness to
+/// render the paper's tables. Cells are strings; columns auto-size.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are right-padded
+  /// with empty cells; longer rows are rejected.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a header separator to `out` (default stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  /// Renders as comma-separated values (for piping into plotting tools).
+  void PrintCsv(std::FILE* out = stdout) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` significant decimal places.
+  static std::string Num(double value, int digits = 2);
+  /// Formats a duration in the paper's style: "394ms", "3s", "2m", "9h".
+  static std::string Duration(double seconds);
+  /// Formats a count with engineering suffix: "31M", "1.94G".
+  static std::string Count(double value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gorder
+
+#endif  // GORDER_UTIL_TABLE_H_

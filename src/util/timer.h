@@ -1,0 +1,29 @@
+#ifndef GORDER_UTIL_TIMER_H_
+#define GORDER_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace gorder {
+
+/// Monotonic wall-clock timer used by the experiment harness.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gorder
+
+#endif  // GORDER_UTIL_TIMER_H_

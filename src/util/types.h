@@ -1,0 +1,26 @@
+#ifndef GORDER_UTIL_TYPES_H_
+#define GORDER_UTIL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace gorder {
+
+/// Node identifier. 32 bits: the paper's largest graph has 95M nodes, and
+/// the synthetic stand-ins in this repo stay far below 2^32.
+using NodeId = std::uint32_t;
+
+/// Edge index into a CSR neighbour array. 64 bits so that graphs with more
+/// than 4G edges remain representable.
+using EdgeId = std::uint64_t;
+
+/// Sentinel for "no node" (e.g. unvisited parent, absent bin).
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel distance for unreachable nodes in shortest-path algorithms.
+inline constexpr std::uint32_t kInfDistance =
+    std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace gorder
+
+#endif  // GORDER_UTIL_TYPES_H_

@@ -1,0 +1,326 @@
+#include "algo/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace gorder {
+namespace {
+
+using algo::Bfs;
+using algo::BfsForest;
+using algo::DfsForest;
+using algo::Diameter;
+using algo::DominatingSet;
+using algo::IsDominatingSet;
+using algo::KCore;
+using algo::Nq;
+using algo::PageRank;
+using algo::Scc;
+using algo::Sp;
+
+// 0 -> 1 -> 2 -> 0 cycle, plus 2 -> 3 -> 4 tail, plus isolated 5.
+Graph CycleWithTail() {
+  return Graph::FromEdges(6, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}});
+}
+
+TEST(NqTest, SumsNeighborDegrees) {
+  Graph g = CycleWithTail();
+  auto r = Nq(g);
+  // q_0 = outdeg(1) = 1; q_1 = outdeg(2) = 2; q_2 = outdeg(0) + outdeg(3)
+  // = 1 + 1; q_3 = outdeg(4) = 0; q_4 = q_5 = 0.
+  EXPECT_EQ(r.q[0], 1u);
+  EXPECT_EQ(r.q[1], 2u);
+  EXPECT_EQ(r.q[2], 2u);
+  EXPECT_EQ(r.q[3], 0u);
+  EXPECT_EQ(r.checksum, 5u);
+}
+
+TEST(BfsTest, LevelsFromSource) {
+  Graph g = CycleWithTail();
+  auto r = Bfs(g, 0);
+  EXPECT_EQ(r.level[0], 0u);
+  EXPECT_EQ(r.level[1], 1u);
+  EXPECT_EQ(r.level[2], 2u);
+  EXPECT_EQ(r.level[3], 3u);
+  EXPECT_EQ(r.level[4], 4u);
+  EXPECT_EQ(r.level[5], kInfDistance);
+  EXPECT_EQ(r.num_reached, 5u);
+}
+
+TEST(BfsTest, ForestCoversAllNodes) {
+  Graph g = CycleWithTail();
+  auto r = BfsForest(g);
+  EXPECT_EQ(r.num_reached, g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_NE(r.level[v], kInfDistance) << v;
+  }
+}
+
+TEST(DfsTest, ForestCoversAllAndPreordersAreUnique) {
+  Graph g = CycleWithTail();
+  auto r = DfsForest(g);
+  EXPECT_EQ(r.num_reached, g.NumNodes());
+  std::vector<NodeId> d = r.discovery;
+  std::sort(d.begin(), d.end());
+  for (NodeId i = 0; i < g.NumNodes(); ++i) EXPECT_EQ(d[i], i);
+}
+
+TEST(DfsTest, LexicographicChildOrder) {
+  // 0 -> {1, 2}, 1 -> {}, 2 -> {}: DFS must discover 1 before 2.
+  Graph g = Graph::FromEdges(3, {{0, 1}, {0, 2}});
+  auto r = DfsForest(g);
+  EXPECT_EQ(r.discovery[0], 0u);
+  EXPECT_EQ(r.discovery[1], 1u);
+  EXPECT_EQ(r.discovery[2], 2u);
+}
+
+TEST(SccTest, CycleIsOneComponent) {
+  Graph g = CycleWithTail();
+  auto r = Scc(g);
+  // {0,1,2} strongly connected; 3, 4, 5 singletons.
+  EXPECT_EQ(r.num_components, 4u);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[1], r.component[2]);
+  EXPECT_NE(r.component[3], r.component[0]);
+  EXPECT_NE(r.component[3], r.component[4]);
+  EXPECT_EQ(r.largest_component, 3u);
+}
+
+TEST(SccTest, DagIsAllSingletons) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto r = Scc(g);
+  EXPECT_EQ(r.num_components, 4u);
+  EXPECT_EQ(r.largest_component, 1u);
+}
+
+TEST(SccTest, TwoNodeCycle) {
+  Graph g = Graph::FromEdges(2, {{0, 1}, {1, 0}});
+  auto r = Scc(g);
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_EQ(r.largest_component, 2u);
+}
+
+TEST(SccTest, MatchesComponentCountOnRandomGraph) {
+  // Cross-validate Tarjan with a brute-force reachability check on a
+  // small random graph.
+  Rng rng(11);
+  Graph g = gen::ErdosRenyi(60, 150, rng);
+  auto r = Scc(g);
+  const NodeId n = g.NumNodes();
+  // reach[u][v] via BFS from every node.
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (NodeId s = 0; s < n; ++s) {
+    auto bfs = Bfs(g, s);
+    for (NodeId v = 0; v < n; ++v) {
+      reach[s][v] = bfs.level[v] != kInfDistance;
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      bool same = r.component[u] == r.component[v];
+      bool mutual = reach[u][v] && reach[v][u];
+      EXPECT_EQ(same, mutual) << u << " vs " << v;
+    }
+  }
+}
+
+TEST(SpTest, MatchesBfsLevelsOnUnitWeights) {
+  Rng rng(12);
+  Graph g = gen::BarabasiAlbert(300, 3, rng);
+  auto sp = Sp(g, 5);
+  auto bfs = Bfs(g, 5);
+  EXPECT_EQ(sp.dist, bfs.level);
+  EXPECT_EQ(sp.num_reached, bfs.num_reached);
+}
+
+TEST(SpTest, UnreachableStaysInfinite) {
+  Graph g = CycleWithTail();
+  auto r = Sp(g, 3);
+  EXPECT_EQ(r.dist[3], 0u);
+  EXPECT_EQ(r.dist[4], 1u);
+  EXPECT_EQ(r.dist[0], kInfDistance);
+  EXPECT_EQ(r.num_reached, 2u);
+  EXPECT_EQ(r.max_dist, 1u);
+}
+
+TEST(PageRankTest, MassConserved) {
+  Rng rng(13);
+  Graph g = gen::ErdosRenyi(200, 800, rng);
+  auto r = PageRank(g, 50);
+  EXPECT_NEAR(r.total_mass, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, DanglingNodesHandled) {
+  // 0 -> 1, 1 has no out-edges (dangling).
+  Graph g = Graph::FromEdges(2, {{0, 1}});
+  auto r = PageRank(g, 100);
+  EXPECT_NEAR(r.total_mass, 1.0, 1e-9);
+  EXPECT_GT(r.rank[1], r.rank[0]);  // 1 receives, 0 only leaks
+}
+
+TEST(PageRankTest, SymmetricCycleIsUniform) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  auto r = PageRank(g, 100);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_NEAR(r.rank[v], 0.25, 1e-9);
+}
+
+TEST(PageRankTest, HubRanksHigher) {
+  // Star: everyone points to node 0.
+  Graph g = Graph::FromEdges(5, {{1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  auto r = PageRank(g, 100);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_GT(r.rank[0], r.rank[v]);
+}
+
+TEST(DominatingSetTest, CoversEveryNode) {
+  Rng rng(14);
+  Graph g = gen::BarabasiAlbert(400, 3, rng);
+  auto r = DominatingSet(g);
+  EXPECT_TRUE(IsDominatingSet(g, r.in_set));
+  EXPECT_GT(r.set_size, 0u);
+  EXPECT_LT(r.set_size, g.NumNodes());
+}
+
+TEST(DominatingSetTest, StarNeedsOneNode) {
+  Graph g = Graph::FromEdges(6, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}});
+  auto r = DominatingSet(g);
+  EXPECT_EQ(r.set_size, 1u);
+  EXPECT_TRUE(r.in_set[0]);
+}
+
+TEST(DominatingSetTest, IsolatedNodesMustJoin) {
+  Graph::Builder b;
+  b.AddEdge(0, 1);
+  b.ReserveNodes(4);  // nodes 2, 3 isolated
+  Graph g = b.Build();
+  auto r = DominatingSet(g);
+  EXPECT_TRUE(r.in_set[2]);
+  EXPECT_TRUE(r.in_set[3]);
+  EXPECT_TRUE(IsDominatingSet(g, r.in_set));
+}
+
+TEST(KCoreTest, CliquePlusTail) {
+  // Directed 4-clique (all pairs both ways) with a tail 3 -> 4.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) edges.push_back({u, v});
+    }
+  }
+  edges.push_back({3, 4});
+  Graph g = Graph::FromEdges(5, edges);
+  auto r = KCore(g);
+  // Undirected multiset degree inside the clique is 6 (3 reciprocal
+  // pairs); the tail node has degree 1 and peels first with core 1.
+  EXPECT_EQ(r.core[4], 1u);
+  EXPECT_EQ(r.core[0], 6u);
+  EXPECT_EQ(r.core[3], 6u);
+  EXPECT_EQ(r.max_core, 6u);
+}
+
+TEST(KCoreTest, CoreInvariantHolds) {
+  // Every node's core number is at most its degree, and the max-core
+  // subgraph has min degree >= max_core.
+  Rng rng(15);
+  Graph g = gen::PlantedPartition({800, 10, 8.0, 0.2}, rng);
+  auto r = KCore(g);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_LE(r.core[v], g.UndirectedDegree(v));
+  }
+  // Nodes in the max core: each must have >= max_core neighbours within
+  // the max core (multiset count).
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (r.core[v] != r.max_core) continue;
+    NodeId inside = 0;
+    for (NodeId w : g.OutNeighbors(v)) inside += r.core[w] == r.max_core;
+    for (NodeId w : g.InNeighbors(v)) inside += r.core[w] == r.max_core;
+    EXPECT_GE(inside, r.max_core) << v;
+  }
+}
+
+TEST(DiameterTest, PathGraph) {
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto r = Diameter(g, {0});
+  EXPECT_EQ(r.diameter_estimate, 4u);
+  auto r2 = Diameter(g, {2, 3});
+  EXPECT_EQ(r2.diameter_estimate, 2u);  // best eccentricity seen from 2
+  EXPECT_EQ(r2.sources_used, 2u);
+}
+
+TEST(DiameterTest, EmptySourcesGiveZero) {
+  Graph g = CycleWithTail();
+  auto r = Diameter(g, {});
+  EXPECT_EQ(r.diameter_estimate, 0u);
+  EXPECT_EQ(r.sources_used, 0u);
+}
+
+// ---- Permutation equivariance: relabelling must permute results ----
+
+class EquivarianceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EquivarianceTest, ResultsPermuteUnderRelabel) {
+  Rng rng(GetParam());
+  Graph g = gen::Rmat({10, 6000, 0.57, 0.19, 0.19}, rng);
+  std::vector<NodeId> perm = IdentityPermutation(g.NumNodes());
+  rng.Shuffle(perm);
+  Graph h = g.Relabel(perm);
+
+  // NQ values permute.
+  auto nq_g = Nq(g);
+  auto nq_h = Nq(h);
+  EXPECT_EQ(nq_g.checksum, nq_h.checksum);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(nq_g.q[v], nq_h.q[perm[v]]);
+  }
+
+  // SP distances from the corresponding source permute.
+  NodeId src = 3;
+  auto sp_g = Sp(g, src);
+  auto sp_h = Sp(h, perm[src]);
+  EXPECT_EQ(sp_g.num_reached, sp_h.num_reached);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(sp_g.dist[v], sp_h.dist[perm[v]]);
+  }
+
+  // SCC partition is identical up to renaming.
+  auto scc_g = Scc(g);
+  auto scc_h = Scc(h);
+  EXPECT_EQ(scc_g.num_components, scc_h.num_components);
+  EXPECT_EQ(scc_g.largest_component, scc_h.largest_component);
+
+  // Core numbers permute.
+  auto core_g = KCore(g);
+  auto core_h = KCore(h);
+  EXPECT_EQ(core_g.max_core, core_h.max_core);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(core_g.core[v], core_h.core[perm[v]]);
+  }
+
+  // PageRank scores permute (up to floating noise).
+  auto pr_g = PageRank(g, 30);
+  auto pr_h = PageRank(h, 30);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_NEAR(pr_g.rank[v], pr_h.rank[perm[v]], 1e-12);
+  }
+
+  // Dominating sets may differ (greedy ties) but both must be valid.
+  EXPECT_TRUE(IsDominatingSet(g, DominatingSet(g).in_set));
+  EXPECT_TRUE(IsDominatingSet(h, DominatingSet(h).in_set));
+
+  // Diameter from corresponding sources is identical.
+  std::vector<NodeId> sources = {1, 7, 42};
+  std::vector<NodeId> mapped;
+  for (NodeId s : sources) mapped.push_back(perm[s]);
+  EXPECT_EQ(Diameter(g, sources).diameter_estimate,
+            Diameter(h, mapped).diameter_estimate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivarianceTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace gorder

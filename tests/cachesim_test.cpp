@@ -1,0 +1,187 @@
+#include "cachesim/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gorder::cachesim {
+namespace {
+
+TEST(CacheLevelTest, HitAfterMiss) {
+  CacheLevel l1({"L1", 4 * 64, 1, 1.0}, 64);
+  EXPECT_FALSE(l1.Access(100));
+  EXPECT_TRUE(l1.Access(100));
+}
+
+TEST(CacheLevelTest, DirectMappedConflict) {
+  // 4 sets, direct mapped: lines 0 and 4 map to set 0 and evict each other.
+  CacheLevel l1({"L1", 4 * 64, 1, 1.0}, 64);
+  EXPECT_FALSE(l1.Access(0));
+  EXPECT_FALSE(l1.Access(4));
+  EXPECT_FALSE(l1.Access(0));
+  EXPECT_FALSE(l1.Access(4));
+}
+
+TEST(CacheLevelTest, TwoWayAvoidsPairConflict) {
+  // 2 sets x 2 ways: lines 0 and 2 share set 0 but coexist.
+  CacheLevel l({"L", 4 * 64, 2, 1.0}, 64);
+  EXPECT_FALSE(l.Access(0));
+  EXPECT_FALSE(l.Access(2));
+  EXPECT_TRUE(l.Access(0));
+  EXPECT_TRUE(l.Access(2));
+}
+
+TEST(CacheLevelTest, LruEvictsOldest) {
+  // 1 set x 2 ways.
+  CacheLevel l({"L", 2 * 64, 2, 1.0}, 64);
+  l.Access(1);  // miss, install
+  l.Access(2);  // miss, install
+  l.Access(1);  // hit, refresh 1 -> LRU is 2
+  l.Access(3);  // miss, evicts 2
+  EXPECT_TRUE(l.Access(1));
+  EXPECT_FALSE(l.Access(2));
+}
+
+TEST(CacheLevelTest, FlushEmptiesCache) {
+  CacheLevel l({"L", 4 * 64, 1, 1.0}, 64);
+  l.Access(7);
+  EXPECT_TRUE(l.Access(7));
+  l.Flush();
+  EXPECT_FALSE(l.Access(7));
+}
+
+TEST(CacheHierarchyTest, CountsRefsAndMisses) {
+  CacheHierarchy h(CacheHierarchyConfig::TestTiny());
+  int x = 0;
+  h.Access(&x, sizeof x);  // cold miss everywhere
+  EXPECT_EQ(h.stats().l1_refs, 1u);
+  EXPECT_EQ(h.stats().l1_misses, 1u);
+  EXPECT_EQ(h.stats().l3_refs, 1u);   // last level (L2 in TestTiny)
+  EXPECT_EQ(h.stats().l3_misses, 1u);
+  h.Access(&x, sizeof x);  // L1 hit
+  EXPECT_EQ(h.stats().l1_refs, 2u);
+  EXPECT_EQ(h.stats().l1_misses, 1u);
+}
+
+TEST(CacheHierarchyTest, L2CatchesL1Evictions) {
+  // TestTiny: L1 is 4 lines direct-mapped, L2 is 8 sets x 2 ways.
+  CacheHierarchy h(CacheHierarchyConfig::TestTiny());
+  // Lines 0 and 4 conflict in L1 (4 sets) but fit in L2 (8 sets).
+  h.AccessLine(0);
+  h.AccessLine(4);
+  h.AccessLine(0);  // L1 miss (evicted), L2 hit
+  EXPECT_EQ(h.stats().l1_misses, 3u);
+  EXPECT_EQ(h.stats().l3_misses, 2u);  // only the two cold misses
+}
+
+TEST(CacheHierarchyTest, AccessSpanningLinesTouchesEachLine) {
+  CacheHierarchy h(CacheHierarchyConfig::TestTiny());
+  alignas(64) char buf[256];
+  h.Access(buf, 256);
+  EXPECT_EQ(h.stats().l1_refs, 4u);  // 256 / 64
+}
+
+TEST(CacheHierarchyTest, UnalignedAccessCrossingOneLine) {
+  CacheHierarchy h(CacheHierarchyConfig::TestTiny());
+  alignas(64) char buf[128];
+  h.Access(buf + 60, 8);  // crosses the 64-byte boundary
+  EXPECT_EQ(h.stats().l1_refs, 2u);
+}
+
+TEST(CacheHierarchyTest, StallCyclesModel) {
+  CacheHierarchy h(CacheHierarchyConfig::TestTiny());
+  int x = 0;
+  h.Access(&x, sizeof x);  // memory: stall 20
+  h.Access(&x, sizeof x);  // L1 hit: no stall
+  EXPECT_DOUBLE_EQ(h.stats().stall_cycles, 20.0);
+  EXPECT_DOUBLE_EQ(h.stats().compute_cycles, 2.0);
+  EXPECT_NEAR(h.stats().StallFraction(), 20.0 / 22.0, 1e-12);
+}
+
+TEST(CacheHierarchyTest, SequentialScanMissesOncePerLine) {
+  CacheHierarchy h;  // full replication geometry
+  std::vector<std::uint32_t> data(16 * 1024 / 4);  // 16 KiB, fits in L1
+  for (auto& v : data) h.Access(&v, sizeof v);
+  // 4096 refs over 256 lines (257 if the allocation is unaligned):
+  // exactly one miss per line.
+  EXPECT_EQ(h.stats().l1_refs, 4096u);
+  EXPECT_GE(h.stats().l1_misses, 256u);
+  EXPECT_LE(h.stats().l1_misses, 257u);
+  // Second pass: everything hits L1.
+  h.ResetStats();
+  for (auto& v : data) h.Access(&v, sizeof v);
+  EXPECT_EQ(h.stats().l1_misses, 0u);
+}
+
+TEST(CacheHierarchyTest, WorkingSetLargerThanL1HitsL2) {
+  CacheHierarchy h;  // L1 32K, L2 256K
+  std::vector<char> data(128 * 1024);  // 128 KiB
+  // Two full passes: first is cold, second should hit L2 (not memory).
+  h.Access(data.data(), data.size());
+  auto cold = h.stats();
+  const std::uint64_t lines = cold.l1_refs;  // one ref per touched line
+  EXPECT_EQ(cold.l3_misses, lines);
+  h.ResetStats();
+  h.Access(data.data(), data.size());
+  auto warm = h.stats();
+  EXPECT_EQ(warm.l1_misses, lines);  // too big for L1: LRU thrash
+  EXPECT_EQ(warm.l3_misses, 0u);     // but L2 holds it
+}
+
+TEST(CacheHierarchyTest, FlushResetsEverything) {
+  CacheHierarchy h(CacheHierarchyConfig::TestTiny());
+  int x = 0;
+  h.Access(&x, sizeof x);
+  h.Flush();
+  EXPECT_EQ(h.stats().l1_refs, 0u);
+  h.Access(&x, sizeof x);
+  EXPECT_EQ(h.stats().l1_misses, 1u);  // cold again after flush
+}
+
+TEST(CacheStatsTest, DerivedRatios) {
+  CacheStats s;
+  s.l1_refs = 1000;
+  s.l1_misses = 159;
+  s.l3_refs = 98;
+  s.l3_misses = 25;
+  EXPECT_NEAR(s.L1MissRate(), 0.159, 1e-12);
+  EXPECT_NEAR(s.L3Ratio(), 0.098, 1e-12);
+  EXPECT_NEAR(s.OverallMissRate(), 0.025, 1e-12);
+}
+
+TEST(CacheStatsTest, ZeroRefsSafe) {
+  CacheStats s;
+  EXPECT_EQ(s.L1MissRate(), 0.0);
+  EXPECT_EQ(s.L3Ratio(), 0.0);
+  EXPECT_EQ(s.OverallMissRate(), 0.0);
+  EXPECT_EQ(s.StallFraction(), 0.0);
+}
+
+TEST(ConfigTest, ReplicationGeometry) {
+  auto c = CacheHierarchyConfig::ReplicationXeon();
+  ASSERT_EQ(c.levels.size(), 3u);
+  EXPECT_EQ(c.levels[0].size_bytes, 32u * 1024);
+  EXPECT_EQ(c.levels[2].size_bytes, 20u * 1024 * 1024);
+  EXPECT_EQ(c.line_bytes, 64u);
+}
+
+TEST(TracerTest, NullTracerIsNoop) {
+  NullTracer t;
+  int x = 0;
+  t.Touch(&x);  // must compile and do nothing
+  EXPECT_FALSE(NullTracer::kEnabled);
+}
+
+TEST(TracerTest, CacheTracerForwards) {
+  CacheHierarchy h(CacheHierarchyConfig::TestTiny());
+  CacheTracer t(&h);
+  std::uint64_t x = 0;
+  t.Touch(&x);
+  EXPECT_EQ(h.stats().l1_refs, 1u);
+  std::uint32_t arr[64] = {};
+  t.Touch(arr, 64);  // 256 bytes -> 4-5 lines depending on alignment
+  EXPECT_GE(h.stats().l1_refs, 5u);
+}
+
+}  // namespace
+}  // namespace gorder::cachesim

@@ -1,0 +1,126 @@
+#include "order/degree_grouping.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "order/ordering.h"
+#include "util/rng.h"
+
+namespace gorder::order {
+namespace {
+
+Graph SkewedGraph() {
+  Rng rng(11);
+  return gen::Rmat({10, 8000, 0.6, 0.18, 0.18}, rng);
+}
+
+TEST(OutDegSortTest, RanksDescendByOutDegree) {
+  Graph g = SkewedGraph();
+  auto order = InvertPermutation(OutDegSortOrder(g));
+  for (NodeId r = 1; r < g.NumNodes(); ++r) {
+    EXPECT_GE(g.OutDegree(order[r - 1]), g.OutDegree(order[r]));
+  }
+}
+
+TEST(HubSortTest, HubsFirstSortedRestOriginal) {
+  Graph g = SkewedGraph();
+  auto perm = HubSortOrder(g);
+  CheckPermutation(perm, g.NumNodes());
+  auto order = InvertPermutation(perm);
+  const double avg =
+      static_cast<double>(g.NumEdges()) / g.NumNodes();
+  // Find the hub/rest boundary.
+  NodeId boundary = 0;
+  while (boundary < g.NumNodes() &&
+         g.OutDegree(order[boundary]) > avg) {
+    ++boundary;
+  }
+  EXPECT_GT(boundary, 0u);
+  EXPECT_LT(boundary, g.NumNodes() / 2);  // hubs are a minority
+  // Hubs sorted descending.
+  for (NodeId r = 1; r < boundary; ++r) {
+    EXPECT_GE(g.OutDegree(order[r - 1]), g.OutDegree(order[r]));
+  }
+  // Rest keeps original relative order (ids ascending).
+  for (NodeId r = boundary + 1; r < g.NumNodes(); ++r) {
+    EXPECT_LT(order[r - 1], order[r]);
+    EXPECT_LE(g.OutDegree(order[r]), avg);
+  }
+}
+
+TEST(HubClusterTest, PartitionPreservesOrderWithinSides) {
+  Graph g = SkewedGraph();
+  auto perm = HubClusterOrder(g);
+  CheckPermutation(perm, g.NumNodes());
+  auto order = InvertPermutation(perm);
+  const double avg =
+      static_cast<double>(g.NumEdges()) / g.NumNodes();
+  NodeId boundary = 0;
+  while (boundary < g.NumNodes() &&
+         g.OutDegree(order[boundary]) > avg) {
+    ++boundary;
+  }
+  // Within each side, original ids ascend (pure stable partition).
+  for (NodeId r = 1; r < boundary; ++r) EXPECT_LT(order[r - 1], order[r]);
+  for (NodeId r = boundary + 1; r < g.NumNodes(); ++r) {
+    EXPECT_LT(order[r - 1], order[r]);
+  }
+}
+
+TEST(DbgTest, GroupsDescendAndPreserveOrderInside) {
+  Graph g = SkewedGraph();
+  auto perm = DbgOrder(g, 8);
+  CheckPermutation(perm, g.NumNodes());
+  auto order = InvertPermutation(perm);
+  const double avg = std::max(
+      1.0, static_cast<double>(g.NumEdges()) / g.NumNodes());
+  auto group_of = [&](NodeId v) {
+    double d = g.OutDegree(v);
+    int grp = 0;
+    while (grp + 1 < 8 && d > avg * (1 << grp)) ++grp;
+    return grp;
+  };
+  for (NodeId r = 1; r < g.NumNodes(); ++r) {
+    int prev = group_of(order[r - 1]);
+    int cur = group_of(order[r]);
+    EXPECT_GE(prev, cur);  // groups descend
+    if (prev == cur) {
+      EXPECT_LT(order[r - 1], order[r]);  // stable inside a group
+    }
+  }
+}
+
+TEST(DbgTest, TwoGroupsDegenerateToHubCluster) {
+  Graph g = SkewedGraph();
+  // With 2 groups the split point is the average degree, like HubCluster.
+  auto dbg = DbgOrder(g, 2);
+  auto hc = HubClusterOrder(g);
+  EXPECT_EQ(dbg, hc);
+}
+
+TEST(DegreeGroupingTest, UniformGraphIsNearIdentity) {
+  // On a regular ring every node has the same degree: HubCluster and
+  // DBG must keep the identity order (single group).
+  const NodeId n = 100;
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n});
+  Graph g = Graph::FromEdges(n, std::move(edges));
+  EXPECT_EQ(HubClusterOrder(g), IdentityPermutation(n));
+  EXPECT_EQ(DbgOrder(g), IdentityPermutation(n));
+}
+
+TEST(DegreeGroupingTest, EmptyAndTinyGraphsSafe) {
+  Graph empty;
+  EXPECT_TRUE(OutDegSortOrder(empty).empty());
+  EXPECT_TRUE(HubSortOrder(empty).empty());
+  EXPECT_TRUE(HubClusterOrder(empty).empty());
+  EXPECT_TRUE(DbgOrder(empty).empty());
+  Graph two = Graph::FromEdges(2, {{0, 1}});
+  CheckPermutation(OutDegSortOrder(two), 2);
+  CheckPermutation(HubSortOrder(two), 2);
+  CheckPermutation(HubClusterOrder(two), 2);
+  CheckPermutation(DbgOrder(two), 2);
+}
+
+}  // namespace
+}  // namespace gorder::order

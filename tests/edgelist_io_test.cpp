@@ -1,0 +1,118 @@
+#include "graph/edgelist_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace gorder {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "gorder_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(Path(name));
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, TextRoundTrip) {
+  Rng rng(1);
+  Graph g = gen::ErdosRenyi(50, 200, rng);
+  ASSERT_TRUE(WriteEdgeList(Path("g.txt"), g).ok);
+  Graph h;
+  ASSERT_TRUE(ReadEdgeList(Path("g.txt"), &h).ok);
+  EXPECT_EQ(g.ToEdges(), h.ToEdges());
+}
+
+TEST_F(IoTest, SkipsCommentsAndBlankLines) {
+  WriteFile("c.txt", "# snap comment\n% konect comment\n\n0 1\n  1 2\n");
+  Graph g;
+  ASSERT_TRUE(ReadEdgeList(Path("c.txt"), &g).ok);
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST_F(IoTest, TabSeparatedAccepted) {
+  WriteFile("t.txt", "0\t5\n5\t2\n");
+  Graph g;
+  ASSERT_TRUE(ReadEdgeList(Path("t.txt"), &g).ok);
+  EXPECT_EQ(g.NumNodes(), 6u);
+  EXPECT_TRUE(g.HasEdge(0, 5));
+}
+
+TEST_F(IoTest, MalformedLineRejectedWithLineNumber) {
+  WriteFile("bad.txt", "0 1\nnot an edge\n");
+  Graph g;
+  IoResult r = ReadEdgeList(Path("bad.txt"), &g);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find(":2"), std::string::npos) << r.error;
+}
+
+TEST_F(IoTest, MissingFileRejected) {
+  Graph g;
+  EXPECT_FALSE(ReadEdgeList(Path("missing.txt"), &g).ok);
+}
+
+TEST_F(IoTest, HugeNodeIdRejected) {
+  WriteFile("huge.txt", "0 99999999999999\n");
+  Graph g;
+  IoResult r = ReadEdgeList(Path("huge.txt"), &g);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("32-bit"), std::string::npos) << r.error;
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  Rng rng(2);
+  Graph g = gen::BarabasiAlbert(200, 3, rng);
+  ASSERT_TRUE(WriteBinary(Path("g.bin"), g).ok);
+  Graph h;
+  ASSERT_TRUE(ReadBinary(Path("g.bin"), &h).ok);
+  EXPECT_EQ(g.ToEdges(), h.ToEdges());
+  EXPECT_EQ(g.NumNodes(), h.NumNodes());
+}
+
+TEST_F(IoTest, BinaryBadMagicRejected) {
+  WriteFile("junk.bin", "this is not a graph file at all");
+  Graph g;
+  IoResult r = ReadBinary(Path("junk.bin"), &g);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("magic"), std::string::npos) << r.error;
+}
+
+TEST_F(IoTest, BinaryTruncatedRejected) {
+  Rng rng(3);
+  Graph g = gen::ErdosRenyi(100, 500, rng);
+  ASSERT_TRUE(WriteBinary(Path("full.bin"), g).ok);
+  // Truncate the file to cut into the neighbour array.
+  auto size = std::filesystem::file_size(Path("full.bin"));
+  std::filesystem::resize_file(Path("full.bin"), size / 2);
+  Graph h;
+  EXPECT_FALSE(ReadBinary(Path("full.bin"), &h).ok);
+}
+
+TEST_F(IoTest, EmptyGraphRoundTrips) {
+  Graph g;
+  ASSERT_TRUE(WriteBinary(Path("empty.bin"), g).ok);
+  Graph h = Graph::FromEdges(3, {{0, 1}});  // overwritten below
+  ASSERT_TRUE(ReadBinary(Path("empty.bin"), &h).ok);
+  EXPECT_EQ(h.NumNodes(), 0u);
+  EXPECT_EQ(h.NumEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace gorder

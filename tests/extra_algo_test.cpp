@@ -1,0 +1,103 @@
+#include "algo/extra.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace gorder::algo {
+namespace {
+
+TEST(TriangleCountTest, TriangleAndSquare) {
+  // Directed triangle 0->1->2->0 is one undirected triangle.
+  Graph tri = Graph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(TriangleCount(tri), 1u);
+  // A 4-cycle has none.
+  Graph square = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(TriangleCount(square), 0u);
+}
+
+TEST(TriangleCountTest, CliqueFormula) {
+  // K6 has C(6,3) = 20 triangles; reciprocal edges must not double count.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = 0; v < 6; ++v) {
+      if (u != v) edges.push_back({u, v});
+    }
+  }
+  Graph k6 = Graph::FromEdges(6, std::move(edges));
+  EXPECT_EQ(TriangleCount(k6), 20u);
+}
+
+TEST(TriangleCountTest, InvariantUnderRelabel) {
+  Rng rng(5);
+  Graph g = gen::PlantedPartition({600, 12, 10.0, 0.2}, rng);
+  auto perm = IdentityPermutation(g.NumNodes());
+  rng.Shuffle(perm);
+  EXPECT_EQ(TriangleCount(g), TriangleCount(g.Relabel(perm)));
+}
+
+TEST(TriangleCountTest, MatchesBruteForceOnSmallGraph) {
+  Rng rng(6);
+  Graph g = gen::ErdosRenyi(40, 200, rng);
+  // Brute force over node triples on the undirected view.
+  auto connected = [&](NodeId a, NodeId b) {
+    return g.HasEdge(a, b) || g.HasEdge(b, a);
+  };
+  std::uint64_t brute = 0;
+  for (NodeId a = 0; a < 40; ++a) {
+    for (NodeId b = a + 1; b < 40; ++b) {
+      if (!connected(a, b)) continue;
+      for (NodeId c = b + 1; c < 40; ++c) {
+        brute += connected(a, c) && connected(b, c);
+      }
+    }
+  }
+  EXPECT_EQ(TriangleCount(g), brute);
+}
+
+TEST(WccTest, ComponentsOfForest) {
+  Graph::Builder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 1);  // 0,1,2 weakly connected (direction ignored)
+  b.AddEdge(3, 4);
+  b.ReserveNodes(6);  // 5 isolated
+  Graph g = b.Build();
+  auto r = Wcc(g);
+  EXPECT_EQ(r.num_components, 3u);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[1], r.component[2]);
+  EXPECT_EQ(r.component[3], r.component[4]);
+  EXPECT_NE(r.component[0], r.component[3]);
+  EXPECT_EQ(r.largest_component, 3u);
+}
+
+TEST(WccTest, WeakVsStrongOnDag) {
+  // A DAG chain is one weak component but n strong components.
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  EXPECT_EQ(Wcc(g).num_components, 1u);
+}
+
+TEST(WccTest, InvariantUnderRelabel) {
+  Rng rng(7);
+  Graph g = gen::ErdosRenyi(500, 700, rng);  // sparse: many components
+  auto perm = IdentityPermutation(g.NumNodes());
+  rng.Shuffle(perm);
+  auto a = Wcc(g);
+  auto b = Wcc(g.Relabel(perm));
+  EXPECT_EQ(a.num_components, b.num_components);
+  EXPECT_EQ(a.largest_component, b.largest_component);
+}
+
+TEST(TracedExtraTest, TracedMatchesUntraced) {
+  Rng rng(8);
+  Graph g = gen::CopyingModel(400, 5, 0.5, rng);
+  cachesim::CacheHierarchy caches(cachesim::CacheHierarchyConfig::TestTiny());
+  EXPECT_EQ(TriangleCount(g), TriangleCountTraced(g, caches));
+  EXPECT_GT(caches.stats().l1_refs, 0u);
+  caches.Flush();
+  EXPECT_EQ(Wcc(g).num_components, WccTraced(g, caches).num_components);
+}
+
+}  // namespace
+}  // namespace gorder::algo

@@ -1,0 +1,112 @@
+// Tests for the lazy-decrement Gorder variant (the paper's
+// priority-queue optimisation) and for label propagation.
+
+#include <gtest/gtest.h>
+
+#include "algo/extra.h"
+#include "gen/datasets.h"
+#include "gen/generators.h"
+#include "graph/stats.h"
+#include "order/gorder.h"
+#include "util/rng.h"
+
+namespace gorder {
+namespace {
+
+class LazyGorderTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LazyGorderTest, LazyVariantValidAndEquallyGood) {
+  Graph g = gen::MakeDataset(GetParam(), 0.1);
+  order::OrderingParams eager;
+  order::OrderingParams lazy;
+  lazy.gorder_lazy_decrements = true;
+  auto perm_eager = order::GorderOrder(g, eager);
+  auto perm_lazy = order::GorderOrder(g, lazy);
+  CheckPermutation(perm_lazy, g.NumNodes());
+  // Same greedy objective: the achieved F must be equivalent up to
+  // tie-resolution noise (allow 10%).
+  auto f_eager = GorderScoreUnderPermutation(g, perm_eager, 5);
+  auto f_lazy = GorderScoreUnderPermutation(g, perm_lazy, 5);
+  EXPECT_GT(f_lazy * 10, f_eager * 9)
+      << "lazy F " << f_lazy << " vs eager F " << f_eager;
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, LazyGorderTest,
+                         ::testing::Values("epinion", "wiki", "pokec",
+                                           "flickr"));
+
+TEST(LazyGorderTest, DeterministicAndDistinctFlagHonored) {
+  Graph g = gen::MakeDataset("epinion", 0.05);
+  order::OrderingParams lazy;
+  lazy.gorder_lazy_decrements = true;
+  EXPECT_EQ(order::GorderOrder(g, lazy), order::GorderOrder(g, lazy));
+}
+
+TEST(LazyGorderTest, TinyWindowAndHugeWindow) {
+  Rng rng(3);
+  Graph g = gen::CopyingModel(400, 5, 0.5, rng);
+  for (NodeId w : {1u, 7u, 100000u}) {
+    order::OrderingParams p;
+    p.window = w;
+    p.gorder_lazy_decrements = true;
+    CheckPermutation(order::GorderOrder(g, p), g.NumNodes());
+  }
+}
+
+TEST(LabelPropagationTest, DisconnectedCliquesGetDistinctLabels) {
+  std::vector<Edge> edges;
+  auto clique = [&](NodeId base, NodeId size) {
+    for (NodeId u = 0; u < size; ++u) {
+      for (NodeId v = 0; v < size; ++v) {
+        if (u != v) edges.push_back({base + u, base + v});
+      }
+    }
+  };
+  clique(0, 8);
+  clique(8, 8);
+  Graph g = Graph::FromEdges(16, std::move(edges));
+  auto r = algo::LabelPropagation(g);
+  EXPECT_EQ(r.num_components, 2u);
+  for (NodeId v = 1; v < 8; ++v) {
+    EXPECT_EQ(r.component[v], r.component[0]);
+    EXPECT_EQ(r.component[8 + v], r.component[8]);
+  }
+  EXPECT_NE(r.component[0], r.component[8]);
+}
+
+TEST(LabelPropagationTest, IsolatedNodesKeepOwnLabels) {
+  Graph::Builder b;
+  b.ReserveNodes(5);
+  Graph g = b.Build();
+  auto r = algo::LabelPropagation(g);
+  EXPECT_EQ(r.num_components, 5u);
+}
+
+TEST(LabelPropagationTest, RecoversPlantedCommunitiesRoughly) {
+  Rng rng(9);
+  gen::PlantedPartitionParams p;
+  p.num_nodes = 600;
+  p.num_communities = 6;
+  p.avg_degree = 16;
+  p.mixing = 0.05;
+  Graph g = gen::PlantedPartition(p, rng);
+  auto r = algo::LabelPropagation(g, 20);
+  // Should find far fewer communities than nodes, and the largest one
+  // should not swallow everything at this low mixing.
+  EXPECT_LT(r.num_components, 100u);
+  EXPECT_GE(r.num_components, 2u);
+}
+
+TEST(LabelPropagationTest, TracedMatchesUntraced) {
+  Rng rng(10);
+  Graph g = gen::ErdosRenyi(200, 1000, rng);
+  cachesim::CacheHierarchy caches(cachesim::CacheHierarchyConfig::TestTiny());
+  auto a = algo::LabelPropagation(g, 5);
+  auto b = algo::LabelPropagationTraced(g, 5, caches);
+  EXPECT_EQ(a.num_components, b.num_components);
+  EXPECT_EQ(a.component, b.component);
+  EXPECT_GT(caches.stats().l1_refs, 0u);
+}
+
+}  // namespace
+}  // namespace gorder

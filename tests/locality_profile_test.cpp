@@ -1,0 +1,78 @@
+#include "graph/locality_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+#include "order/ordering.h"
+#include "util/rng.h"
+
+namespace gorder {
+namespace {
+
+TEST(LocalityProfileTest, PathGraphAllUnitGaps) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < 100; ++v) edges.push_back({v, v + 1});
+  Graph g = Graph::FromEdges(100, std::move(edges));
+  auto p = ComputeLocalityProfile(g);
+  EXPECT_EQ(p.num_edges, 99u);
+  EXPECT_DOUBLE_EQ(p.avg_gap, 1.0);
+  EXPECT_EQ(p.bandwidth, 1u);
+  EXPECT_EQ(p.gap_histogram[0], 99u);  // all gaps == 1
+  EXPECT_DOUBLE_EQ(p.same_line_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(p.within_window5, 1.0);
+}
+
+TEST(LocalityProfileTest, SingleFarEdge) {
+  Graph g = Graph::FromEdges(1025, {{0, 1024}});
+  auto p = ComputeLocalityProfile(g);
+  EXPECT_DOUBLE_EQ(p.avg_gap, 1024.0);
+  EXPECT_EQ(p.bandwidth, 1024u);
+  EXPECT_EQ(p.gap_histogram[10], 1u);  // 1024 = 2^10
+  EXPECT_DOUBLE_EQ(p.same_line_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(p.within_window1024, 1.0);  // gap <= 1024 inclusive
+  EXPECT_DOUBLE_EQ(p.within_window5, 0.0);
+}
+
+TEST(LocalityProfileTest, EmptyGraphSafe) {
+  Graph g;
+  auto p = ComputeLocalityProfile(g);
+  EXPECT_EQ(p.num_edges, 0u);
+  EXPECT_EQ(p.avg_gap, 0.0);
+  EXPECT_EQ(p.CumulativeBelow(10), 0.0);
+}
+
+TEST(LocalityProfileTest, HistogramSumsToEdges) {
+  Graph g = gen::MakeDataset("flickr", 0.1);
+  auto p = ComputeLocalityProfile(g);
+  std::uint64_t total = 0;
+  for (auto c : p.gap_histogram) total += c;
+  EXPECT_EQ(total, g.NumEdges());
+}
+
+TEST(LocalityProfileTest, CumulativeMonotone) {
+  Graph g = gen::MakeDataset("wiki", 0.1);
+  auto p = ComputeLocalityProfile(g);
+  double prev = 0.0;
+  for (int i = 0; i <= 32; ++i) {
+    double c = p.CumulativeBelow(i);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(p.CumulativeBelow(33), 1.0, 1e-12);
+}
+
+TEST(LocalityProfileTest, GorderImprovesEveryMetricOverRandom) {
+  Graph g = gen::MakeDataset("wiki", 0.15);
+  auto profile_of = [&](order::Method m) {
+    auto perm = order::ComputeOrdering(g, m, {});
+    return ComputeLocalityProfile(g.Relabel(perm));
+  };
+  auto random = profile_of(order::Method::kRandom);
+  auto gorder = profile_of(order::Method::kGorder);
+  EXPECT_LT(gorder.avg_log2_gap, random.avg_log2_gap);
+  EXPECT_GT(gorder.same_line_fraction, random.same_line_fraction);
+  EXPECT_GT(gorder.within_window1024, random.within_window1024);
+}
+
+}  // namespace
+}  // namespace gorder

@@ -1,0 +1,118 @@
+// Property sweep over (ordering method x graph family x seed): the
+// invariants every ordering must satisfy on every input —
+//   1. output is a valid permutation,
+//   2. computation is deterministic in (graph, params),
+//   3. relabelling preserves the edge multiset (degree sequences match),
+//   4. order-invariant algorithm results survive the relabel.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "algo/algorithms.h"
+#include "gen/generators.h"
+#include "graph/stats.h"
+#include "order/ordering.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gorder::order {
+namespace {
+
+Graph MakeFamily(const std::string& family, std::uint64_t seed) {
+  Rng rng(seed);
+  if (family == "er") return gen::ErdosRenyi(500, 2200, rng);
+  if (family == "ba") return gen::BarabasiAlbert(600, 4, rng);
+  if (family == "rmat") return gen::Rmat({9, 4500, 0.6, 0.18, 0.18}, rng);
+  if (family == "web") return gen::CopyingModel(550, 6, 0.6, rng);
+  if (family == "smallworld") return gen::WattsStrogatz(500, 3, 0.05, rng);
+  if (family == "powerlaw") {
+    return gen::PowerLawConfigurationGraph(600, 2.3, 2, 60, rng);
+  }
+  GORDER_CHECK(false);
+  __builtin_unreachable();
+}
+
+using SweepParam = std::tuple<Method, const char*, int>;
+
+class OrderingSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(OrderingSweepTest, Invariants) {
+  auto [method, family, seed] = GetParam();
+  Graph g = MakeFamily(family, seed);
+  OrderingParams params;
+  params.seed = 7 + seed;
+  params.sa_steps = 1500;  // keep annealing cheap in the sweep
+
+  auto perm = ComputeOrdering(g, method, params);
+  CheckPermutation(perm, g.NumNodes());
+
+  // Determinism.
+  EXPECT_EQ(perm, ComputeOrdering(g, method, params));
+
+  // Structural preservation under relabel.
+  Graph h = g.Relabel(perm);
+  EXPECT_EQ(h.NumNodes(), g.NumNodes());
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+  std::vector<NodeId> deg_g(g.NumNodes()), deg_h(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    deg_g[v] = g.OutDegree(v);
+    deg_h[v] = h.OutDegree(v);
+    EXPECT_EQ(g.OutDegree(v), h.OutDegree(perm[v]));
+    EXPECT_EQ(g.InDegree(v), h.InDegree(perm[v]));
+  }
+  std::sort(deg_g.begin(), deg_g.end());
+  std::sort(deg_h.begin(), deg_h.end());
+  EXPECT_EQ(deg_g, deg_h);
+
+  // Algorithmic invariants.
+  EXPECT_EQ(algo::Nq(g).checksum, algo::Nq(h).checksum);
+  EXPECT_EQ(algo::KCore(g).max_core, algo::KCore(h).max_core);
+  EXPECT_EQ(algo::Scc(g).num_components, algo::Scc(h).num_components);
+}
+
+std::string SweepName(
+    const ::testing::TestParamInfo<SweepParam>& info) {
+  return MethodName(std::get<0>(info.param)) + std::string("_") +
+         std::get<1>(info.param) + "_s" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodFamilySeed, OrderingSweepTest,
+    ::testing::Combine(::testing::ValuesIn(AllMethodsExtended()),
+                       ::testing::Values("er", "ba", "rmat", "web",
+                                         "smallworld", "powerlaw"),
+                       ::testing::Values(1, 2)),
+    SweepName);
+
+// Locality sanity: every non-Random method should beat Random on at
+// least one locality metric on a structured graph.
+class LocalityBeatsRandomTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(LocalityBeatsRandomTest, SomeMetricImproves) {
+  Method method = GetParam();
+  if (method == Method::kRandom) GTEST_SKIP();
+  Graph g = MakeFamily("web", 3);
+  OrderingParams params;
+  params.sa_steps = 30000;
+  auto perm = ComputeOrdering(g, method, params);
+  Rng rng(11);
+  auto rnd = RandomOrder(g, rng);
+  Graph h_m = g.Relabel(perm);
+  Graph h_r = g.Relabel(rnd);
+  bool beats = LinearArrangementCost(h_m) < LinearArrangementCost(h_r) ||
+               LogArrangementCost(h_m) < LogArrangementCost(h_r) ||
+               GorderScore(h_m, 5) > GorderScore(h_r, 5);
+  EXPECT_TRUE(beats) << MethodName(method);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, LocalityBeatsRandomTest,
+                         ::testing::ValuesIn(AllMethodsExtended()),
+                         [](const auto& info) {
+                           return MethodName(info.param);
+                         });
+
+}  // namespace
+}  // namespace gorder::order

@@ -1,0 +1,138 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/generators.h"
+#include "graph/stats.h"
+#include "util/rng.h"
+
+namespace gorder {
+namespace {
+
+TEST(InducedSubgraphTest, KeepsOnlyInternalEdges) {
+  // 0 -> 1 -> 2 -> 3, 1 -> 3; extract {1, 2}.
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {1, 3}});
+  auto sub = ExtractInducedSubgraph(g, {1, 2});
+  EXPECT_EQ(sub.graph.NumNodes(), 2u);
+  EXPECT_EQ(sub.graph.NumEdges(), 1u);  // only 1 -> 2 survives
+  EXPECT_TRUE(sub.graph.HasEdge(0, 1));  // local ids follow input order
+  EXPECT_EQ(sub.local_to_global[0], 1u);
+  EXPECT_EQ(sub.local_to_global[1], 2u);
+}
+
+TEST(InducedSubgraphTest, FullSetIsIsomorphicCopy) {
+  Rng rng(1);
+  Graph g = gen::ErdosRenyi(100, 400, rng);
+  std::vector<NodeId> all = IdentityPermutation(100);
+  auto sub = ExtractInducedSubgraph(g, all);
+  EXPECT_EQ(sub.graph.ToEdges(), g.ToEdges());
+}
+
+TEST(InducedSubgraphTest, EmptySelection) {
+  Graph g = Graph::FromEdges(3, {{0, 1}});
+  auto sub = ExtractInducedSubgraph(g, {});
+  EXPECT_EQ(sub.graph.NumNodes(), 0u);
+  EXPECT_EQ(sub.graph.NumEdges(), 0u);
+}
+
+TEST(ReverseGraphTest, TransposesEdges) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  Graph r = ReverseGraph(g);
+  EXPECT_EQ(r.NumEdges(), 3u);
+  EXPECT_TRUE(r.HasEdge(1, 0));
+  EXPECT_TRUE(r.HasEdge(2, 1));
+  EXPECT_TRUE(r.HasEdge(2, 0));
+  EXPECT_FALSE(r.HasEdge(0, 1));
+  // Double reversal is identity.
+  EXPECT_EQ(ReverseGraph(r).ToEdges(), g.ToEdges());
+}
+
+TEST(ReverseGraphTest, InOutDegreesSwap) {
+  Rng rng(2);
+  Graph g = gen::BarabasiAlbert(300, 3, rng);
+  Graph r = ReverseGraph(g);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(g.OutDegree(v), r.InDegree(v));
+    EXPECT_EQ(g.InDegree(v), r.OutDegree(v));
+  }
+}
+
+TEST(UndirectedClosureTest, SymmetricAndDeduplicated) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 0}, {1, 2}});
+  Graph u = UndirectedClosure(g);
+  EXPECT_EQ(u.NumEdges(), 4u);  // (0,1),(1,0),(1,2),(2,1)
+  for (NodeId v = 0; v < 3; ++v) {
+    for (NodeId w : u.OutNeighbors(v)) {
+      EXPECT_TRUE(u.HasEdge(w, v)) << v << "," << w;
+    }
+  }
+}
+
+TEST(LargestWccTest, PicksTheBigComponent) {
+  Graph::Builder b;
+  // Component A: a 3-cycle. Component B: a 10-node path (bigger).
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  for (NodeId v = 10; v < 19; ++v) b.AddEdge(v, v + 1);
+  b.ReserveNodes(25);  // some isolated nodes too
+  Graph g = b.Build();
+  auto sub = LargestWccSubgraph(g);
+  EXPECT_EQ(sub.graph.NumNodes(), 10u);
+  EXPECT_EQ(sub.graph.NumEdges(), 9u);
+  std::vector<NodeId> globals = sub.local_to_global;
+  std::sort(globals.begin(), globals.end());
+  EXPECT_EQ(globals.front(), 10u);
+  EXPECT_EQ(globals.back(), 19u);
+}
+
+TEST(LargestWccTest, EmptyGraphSafe) {
+  Graph g;
+  auto sub = LargestWccSubgraph(g);
+  EXPECT_EQ(sub.graph.NumNodes(), 0u);
+}
+
+TEST(ConfigurationModelTest, RealisesDegreesUpToErasure) {
+  Rng rng(3);
+  std::vector<NodeId> out = {3, 2, 1, 0, 2};
+  std::vector<NodeId> in = {1, 1, 2, 3, 1};
+  Graph g = gen::DirectedConfigurationModel(out, in, rng);
+  EXPECT_EQ(g.NumNodes(), 5u);
+  // Erased model: realised degrees never exceed requested.
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_LE(g.OutDegree(v), out[v]);
+    EXPECT_LE(g.InDegree(v), in[v]);
+  }
+  EXPECT_LE(g.NumEdges(), 8u);
+  EXPECT_GE(g.NumEdges(), 5u);  // most stubs survive at this density
+}
+
+TEST(PowerLawDegreesTest, BoundsAndSkew) {
+  Rng rng(4);
+  auto degrees = gen::SamplePowerLawDegrees(20000, 2.2, 2, 500, rng);
+  NodeId lo = 500, hi = 0;
+  double sum = 0;
+  for (NodeId d : degrees) {
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+    sum += d;
+  }
+  EXPECT_EQ(lo, 2u);
+  EXPECT_GT(hi, 100u);                      // heavy tail reached
+  EXPECT_LE(hi, 500u);
+  EXPECT_LT(sum / degrees.size(), 12.0);    // mean stays small
+}
+
+TEST(PowerLawConfigurationGraphTest, BuildsSkewedGraph) {
+  Rng rng(5);
+  Graph g = gen::PowerLawConfigurationGraph(3000, 2.3, 2, 200, rng);
+  EXPECT_EQ(g.NumNodes(), 3000u);
+  EXPECT_GT(g.NumEdges(), 6000u);
+  GraphStats s = ComputeStats(g);
+  EXPECT_GT(s.max_in_degree, 50u);
+}
+
+}  // namespace
+}  // namespace gorder

@@ -1,0 +1,67 @@
+// Output-format tests for TablePrinter: rendering goes to a temp FILE*
+// and is read back, so alignment and CSV quoting stay locked down.
+
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace gorder {
+namespace {
+
+std::string Render(const TablePrinter& table, bool csv) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  if (csv) {
+    table.PrintCsv(f);
+  } else {
+    table.Print(f);
+  }
+  std::fflush(f);
+  std::rewind(f);
+  std::string out;
+  char buf[256];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+TEST(TablePrintTest, AlignedColumnsAndSeparator) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::string out = Render(t, /*csv=*/false);
+  // Header, separator, two data rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Columns align: "a" padded to the width of "longer".
+  EXPECT_NE(out.find("a       1"), std::string::npos) << out;
+  EXPECT_NE(out.find("longer  22"), std::string::npos) << out;
+}
+
+TEST(TablePrintTest, CsvHasNoPadding) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  std::string out = Render(t, /*csv=*/true);
+  EXPECT_EQ(out, "name,value\na,1\n");
+}
+
+TEST(TablePrintTest, ShortRowsPadWithEmptyCells) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::string out = Render(t, /*csv=*/true);
+  EXPECT_EQ(out, "a,b,c\nonly,,\n");
+}
+
+TEST(TablePrintTest, EmptyTablePrintsHeaderOnly) {
+  TablePrinter t({"x"});
+  std::string out = Render(t, /*csv=*/false);
+  EXPECT_NE(out.find('x'), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace gorder

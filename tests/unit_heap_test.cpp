@@ -1,0 +1,146 @@
+#include "order/unit_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gorder::order {
+namespace {
+
+TEST(UnitHeapTest, InitialStateAllZero) {
+  UnitHeap h(5);
+  EXPECT_EQ(h.size(), 5u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_TRUE(h.Contains(v));
+    EXPECT_EQ(h.KeyOf(v), 0);
+  }
+}
+
+TEST(UnitHeapTest, ExtractMaxReturnsHighestKey) {
+  UnitHeap h(4);
+  h.Increment(2);
+  h.Increment(2);
+  h.Increment(1);
+  EXPECT_EQ(h.ExtractMax(), 2u);
+  EXPECT_EQ(h.ExtractMax(), 1u);
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(UnitHeapTest, DecrementLowersPriority) {
+  UnitHeap h(3);
+  h.Increment(0);
+  h.Increment(1);
+  h.Increment(1);
+  h.Decrement(1);
+  h.Decrement(1);
+  EXPECT_EQ(h.ExtractMax(), 0u);
+}
+
+TEST(UnitHeapTest, RemoveExcludesNode) {
+  UnitHeap h(3);
+  h.Increment(2);
+  h.Remove(2);
+  EXPECT_FALSE(h.Contains(2));
+  NodeId v = h.ExtractMax();
+  EXPECT_NE(v, 2u);
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(UnitHeapTest, ExtractFromEmptyReturnsInvalid) {
+  UnitHeap h(1);
+  EXPECT_EQ(h.ExtractMax(), 0u);
+  EXPECT_EQ(h.ExtractMax(), kInvalidNode);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(UnitHeapTest, KeyPersistsAfterExtraction) {
+  // SlashBurn relies on reading the key of a just-extracted node.
+  UnitHeap h(2);
+  h.Increment(1);
+  NodeId v = h.ExtractMax();
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(h.KeyOf(1), 1);
+}
+
+TEST(UnitHeapTest, ManyIncrementsGrowBuckets) {
+  UnitHeap h(2);
+  for (int i = 0; i < 1000; ++i) h.Increment(1);
+  EXPECT_EQ(h.KeyOf(1), 1000);
+  EXPECT_EQ(h.ExtractMax(), 1u);
+}
+
+// Property test: a long random op sequence against a naive reference.
+class UnitHeapRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UnitHeapRandomTest, MatchesReferenceImplementation) {
+  const NodeId n = 64;
+  UnitHeap heap(n);
+  std::vector<int> ref_key(n, 0);
+  std::vector<bool> present(n, true);
+  NodeId present_count = n;
+  Rng rng(GetParam());
+
+  for (int step = 0; step < 20000; ++step) {
+    int op = static_cast<int>(rng.Uniform(10));
+    if (op < 4) {  // increment random present node
+      if (present_count == 0) continue;
+      NodeId v;
+      do {
+        v = static_cast<NodeId>(rng.Uniform(n));
+      } while (!present[v]);
+      heap.Increment(v);
+      ++ref_key[v];
+    } else if (op < 7) {  // decrement if key > 0
+      if (present_count == 0) continue;
+      NodeId v;
+      do {
+        v = static_cast<NodeId>(rng.Uniform(n));
+      } while (!present[v]);
+      if (ref_key[v] == 0) continue;
+      heap.Decrement(v);
+      --ref_key[v];
+    } else if (op < 9) {  // extract max
+      NodeId v = heap.ExtractMax();
+      if (present_count == 0) {
+        EXPECT_EQ(v, kInvalidNode);
+        continue;
+      }
+      ASSERT_NE(v, kInvalidNode);
+      ASSERT_TRUE(present[v]);
+      int max_key = -1;
+      for (NodeId u = 0; u < n; ++u) {
+        if (present[u]) max_key = std::max(max_key, ref_key[u]);
+      }
+      EXPECT_EQ(ref_key[v], max_key) << "step " << step;
+      present[v] = false;
+      --present_count;
+    } else {  // remove random present node
+      if (present_count == 0) continue;
+      NodeId v;
+      do {
+        v = static_cast<NodeId>(rng.Uniform(n));
+      } while (!present[v]);
+      heap.Remove(v);
+      present[v] = false;
+      --present_count;
+    }
+    EXPECT_EQ(heap.size(), present_count);
+    // Spot-check keys.
+    NodeId probe = static_cast<NodeId>(rng.Uniform(n));
+    if (present[probe]) {
+      EXPECT_EQ(heap.KeyOf(probe), ref_key[probe]);
+      EXPECT_TRUE(heap.Contains(probe));
+    } else {
+      EXPECT_FALSE(heap.Contains(probe));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnitHeapRandomTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace gorder::order

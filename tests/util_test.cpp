@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace gorder {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int bound : {1, 2, 3, 10, 1000}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.Uniform(bound), static_cast<std::uint64_t>(bound));
+    }
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(SplitMixTest, KnownFirstValueNonZero) {
+  SplitMix64 sm(0);
+  EXPECT_NE(sm.Next(), 0u);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + i;
+  EXPECT_GE(t.Seconds(), 0.0);
+  EXPECT_GE(t.Millis(), t.Seconds());  // millis is 1000x seconds
+}
+
+TEST(TableTest, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(3.14159, 0), "3");
+}
+
+TEST(TableTest, FormatsDurations) {
+  EXPECT_EQ(TablePrinter::Duration(0.004), "4ms");
+  EXPECT_EQ(TablePrinter::Duration(3.0), "3.0s");
+  EXPECT_EQ(TablePrinter::Duration(120.0), "2.0m");
+  EXPECT_EQ(TablePrinter::Duration(7200.0), "2.0h");
+}
+
+TEST(TableTest, FormatsCounts) {
+  EXPECT_EQ(TablePrinter::Count(999), "999");
+  EXPECT_EQ(TablePrinter::Count(31e6), "31.0M");
+  EXPECT_EQ(TablePrinter::Count(1.94e9), "1.94G");
+}
+
+TEST(TableTest, RowsPadToHeader) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(FlagsTest, ParsesKeyValueAndBools) {
+  const char* argv[] = {"prog", "--scale=2.5", "--name=pokec", "--csv",
+                        "--iters=42"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 2.5);
+  EXPECT_EQ(flags.GetString("name", ""), "pokec");
+  EXPECT_TRUE(flags.GetBool("csv", false));
+  EXPECT_EQ(flags.GetInt("iters", 0), 42);
+  EXPECT_EQ(flags.GetInt("absent", 7), 7);
+  EXPECT_FALSE(flags.Has("absent"));
+}
+
+TEST(FlagsTest, ExplicitFalse) {
+  const char* argv[] = {"prog", "--verbose=false"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_FALSE(flags.GetBool("verbose", true));
+}
+
+}  // namespace
+}  // namespace gorder

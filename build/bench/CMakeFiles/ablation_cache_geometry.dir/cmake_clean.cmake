@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_geometry.dir/ablation_cache_geometry.cpp.o"
+  "CMakeFiles/ablation_cache_geometry.dir/ablation_cache_geometry.cpp.o.d"
+  "ablation_cache_geometry"
+  "ablation_cache_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

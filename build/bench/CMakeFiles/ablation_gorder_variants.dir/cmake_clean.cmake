@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gorder_variants.dir/ablation_gorder_variants.cpp.o"
+  "CMakeFiles/ablation_gorder_variants.dir/ablation_gorder_variants.cpp.o.d"
+  "ablation_gorder_variants"
+  "ablation_gorder_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gorder_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

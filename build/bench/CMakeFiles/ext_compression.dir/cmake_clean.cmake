@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_compression.dir/ext_compression.cpp.o"
+  "CMakeFiles/ext_compression.dir/ext_compression.cpp.o.d"
+  "ext_compression"
+  "ext_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dynamic.dir/ext_dynamic.cpp.o"
+  "CMakeFiles/ext_dynamic.dir/ext_dynamic.cpp.o.d"
+  "ext_dynamic"
+  "ext_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

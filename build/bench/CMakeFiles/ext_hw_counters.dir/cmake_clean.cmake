@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hw_counters.dir/ext_hw_counters.cpp.o"
+  "CMakeFiles/ext_hw_counters.dir/ext_hw_counters.cpp.o.d"
+  "ext_hw_counters"
+  "ext_hw_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hw_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_workloads.cpp" "bench/CMakeFiles/ext_workloads.dir/ext_workloads.cpp.o" "gcc" "bench/CMakeFiles/ext_workloads.dir/ext_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gorder_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/gorder_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/gorder_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/gorder_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/gorder_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/gorder_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gorder_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gorder_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

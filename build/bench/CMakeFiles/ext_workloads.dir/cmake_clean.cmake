@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_workloads.dir/ext_workloads.cpp.o"
+  "CMakeFiles/ext_workloads.dir/ext_workloads.cpp.o.d"
+  "ext_workloads"
+  "ext_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cache_stall.dir/fig1_cache_stall.cpp.o"
+  "CMakeFiles/fig1_cache_stall.dir/fig1_cache_stall.cpp.o.d"
+  "fig1_cache_stall"
+  "fig1_cache_stall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cache_stall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

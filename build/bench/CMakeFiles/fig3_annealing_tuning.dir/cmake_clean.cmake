@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_annealing_tuning.dir/fig3_annealing_tuning.cpp.o"
+  "CMakeFiles/fig3_annealing_tuning.dir/fig3_annealing_tuning.cpp.o.d"
+  "fig3_annealing_tuning"
+  "fig3_annealing_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_annealing_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_window_tuning.dir/fig4_window_tuning.cpp.o"
+  "CMakeFiles/fig4_window_tuning.dir/fig4_window_tuning.cpp.o.d"
+  "fig4_window_tuning"
+  "fig4_window_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_window_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

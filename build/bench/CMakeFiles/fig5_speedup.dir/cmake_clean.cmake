@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_speedup.dir/fig5_speedup.cpp.o"
+  "CMakeFiles/fig5_speedup.dir/fig5_speedup.cpp.o.d"
+  "fig5_speedup"
+  "fig5_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ranking.dir/fig6_ranking.cpp.o"
+  "CMakeFiles/fig6_ranking.dir/fig6_ranking.cpp.o.d"
+  "fig6_ranking"
+  "fig6_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cachesim.dir/micro_cachesim.cpp.o"
+  "CMakeFiles/micro_cachesim.dir/micro_cachesim.cpp.o.d"
+  "micro_cachesim"
+  "micro_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

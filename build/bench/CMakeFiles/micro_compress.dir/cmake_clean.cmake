@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_compress.dir/micro_compress.cpp.o"
+  "CMakeFiles/micro_compress.dir/micro_compress.cpp.o.d"
+  "micro_compress"
+  "micro_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_orderings.dir/micro_orderings.cpp.o"
+  "CMakeFiles/micro_orderings.dir/micro_orderings.cpp.o.d"
+  "micro_orderings"
+  "micro_orderings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_orderings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

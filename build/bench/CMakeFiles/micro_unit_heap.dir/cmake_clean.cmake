@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_unit_heap.dir/micro_unit_heap.cpp.o"
+  "CMakeFiles/micro_unit_heap.dir/micro_unit_heap.cpp.o.d"
+  "micro_unit_heap"
+  "micro_unit_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_unit_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

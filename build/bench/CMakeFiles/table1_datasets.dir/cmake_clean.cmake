@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_datasets.dir/table1_datasets.cpp.o"
+  "CMakeFiles/table1_datasets.dir/table1_datasets.cpp.o.d"
+  "table1_datasets"
+  "table1_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

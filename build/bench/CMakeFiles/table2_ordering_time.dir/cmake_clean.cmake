@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ordering_time.dir/table2_ordering_time.cpp.o"
+  "CMakeFiles/table2_ordering_time.dir/table2_ordering_time.cpp.o.d"
+  "table2_ordering_time"
+  "table2_ordering_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ordering_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

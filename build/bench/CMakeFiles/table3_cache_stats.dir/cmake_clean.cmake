@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cache_stats.dir/table3_cache_stats.cpp.o"
+  "CMakeFiles/table3_cache_stats.dir/table3_cache_stats.cpp.o.d"
+  "table3_cache_stats"
+  "table3_cache_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cache_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_explorer.dir/cache_explorer.cpp.o"
+  "CMakeFiles/cache_explorer.dir/cache_explorer.cpp.o.d"
+  "cache_explorer"
+  "cache_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_recommendation.dir/social_recommendation.cpp.o"
+  "CMakeFiles/social_recommendation.dir/social_recommendation.cpp.o.d"
+  "social_recommendation"
+  "social_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_graph_compression.dir/web_graph_compression.cpp.o"
+  "CMakeFiles/web_graph_compression.dir/web_graph_compression.cpp.o.d"
+  "web_graph_compression"
+  "web_graph_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_graph_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

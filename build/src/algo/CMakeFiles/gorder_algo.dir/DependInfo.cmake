@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/algorithms.cpp" "src/algo/CMakeFiles/gorder_algo.dir/algorithms.cpp.o" "gcc" "src/algo/CMakeFiles/gorder_algo.dir/algorithms.cpp.o.d"
+  "/root/repo/src/algo/extra.cpp" "src/algo/CMakeFiles/gorder_algo.dir/extra.cpp.o" "gcc" "src/algo/CMakeFiles/gorder_algo.dir/extra.cpp.o.d"
+  "/root/repo/src/algo/traced.cpp" "src/algo/CMakeFiles/gorder_algo.dir/traced.cpp.o" "gcc" "src/algo/CMakeFiles/gorder_algo.dir/traced.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gorder_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/gorder_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gorder_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorder_algo.dir/algorithms.cpp.o"
+  "CMakeFiles/gorder_algo.dir/algorithms.cpp.o.d"
+  "CMakeFiles/gorder_algo.dir/extra.cpp.o"
+  "CMakeFiles/gorder_algo.dir/extra.cpp.o.d"
+  "CMakeFiles/gorder_algo.dir/traced.cpp.o"
+  "CMakeFiles/gorder_algo.dir/traced.cpp.o.d"
+  "libgorder_algo.a"
+  "libgorder_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorder_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorder_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/gorder_cachesim.dir/cache.cpp.o.d"
+  "CMakeFiles/gorder_cachesim.dir/hw_counters.cpp.o"
+  "CMakeFiles/gorder_cachesim.dir/hw_counters.cpp.o.d"
+  "libgorder_cachesim.a"
+  "libgorder_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorder_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorder_compress.dir/compressed_graph.cpp.o"
+  "CMakeFiles/gorder_compress.dir/compressed_graph.cpp.o.d"
+  "libgorder_compress.a"
+  "libgorder_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorder_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorder_gen.dir/crawl_order.cpp.o"
+  "CMakeFiles/gorder_gen.dir/crawl_order.cpp.o.d"
+  "CMakeFiles/gorder_gen.dir/datasets.cpp.o"
+  "CMakeFiles/gorder_gen.dir/datasets.cpp.o.d"
+  "CMakeFiles/gorder_gen.dir/generators.cpp.o"
+  "CMakeFiles/gorder_gen.dir/generators.cpp.o.d"
+  "libgorder_gen.a"
+  "libgorder_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorder_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

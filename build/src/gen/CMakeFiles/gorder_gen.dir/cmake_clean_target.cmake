@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgorder_gen.a"
+)

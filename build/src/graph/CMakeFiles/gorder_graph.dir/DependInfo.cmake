@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dynamic_graph.cpp" "src/graph/CMakeFiles/gorder_graph.dir/dynamic_graph.cpp.o" "gcc" "src/graph/CMakeFiles/gorder_graph.dir/dynamic_graph.cpp.o.d"
+  "/root/repo/src/graph/edgelist_io.cpp" "src/graph/CMakeFiles/gorder_graph.dir/edgelist_io.cpp.o" "gcc" "src/graph/CMakeFiles/gorder_graph.dir/edgelist_io.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/gorder_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/gorder_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/locality_profile.cpp" "src/graph/CMakeFiles/gorder_graph.dir/locality_profile.cpp.o" "gcc" "src/graph/CMakeFiles/gorder_graph.dir/locality_profile.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/graph/CMakeFiles/gorder_graph.dir/stats.cpp.o" "gcc" "src/graph/CMakeFiles/gorder_graph.dir/stats.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/graph/CMakeFiles/gorder_graph.dir/subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/gorder_graph.dir/subgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gorder_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

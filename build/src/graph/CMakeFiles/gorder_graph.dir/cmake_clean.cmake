@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorder_graph.dir/dynamic_graph.cpp.o"
+  "CMakeFiles/gorder_graph.dir/dynamic_graph.cpp.o.d"
+  "CMakeFiles/gorder_graph.dir/edgelist_io.cpp.o"
+  "CMakeFiles/gorder_graph.dir/edgelist_io.cpp.o.d"
+  "CMakeFiles/gorder_graph.dir/graph.cpp.o"
+  "CMakeFiles/gorder_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/gorder_graph.dir/locality_profile.cpp.o"
+  "CMakeFiles/gorder_graph.dir/locality_profile.cpp.o.d"
+  "CMakeFiles/gorder_graph.dir/stats.cpp.o"
+  "CMakeFiles/gorder_graph.dir/stats.cpp.o.d"
+  "CMakeFiles/gorder_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/gorder_graph.dir/subgraph.cpp.o.d"
+  "libgorder_graph.a"
+  "libgorder_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorder_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorder_harness.dir/experiment.cpp.o"
+  "CMakeFiles/gorder_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/gorder_harness.dir/ranking.cpp.o"
+  "CMakeFiles/gorder_harness.dir/ranking.cpp.o.d"
+  "libgorder_harness.a"
+  "libgorder_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorder_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/order/annealing.cpp" "src/order/CMakeFiles/gorder_order.dir/annealing.cpp.o" "gcc" "src/order/CMakeFiles/gorder_order.dir/annealing.cpp.o.d"
+  "/root/repo/src/order/basic.cpp" "src/order/CMakeFiles/gorder_order.dir/basic.cpp.o" "gcc" "src/order/CMakeFiles/gorder_order.dir/basic.cpp.o.d"
+  "/root/repo/src/order/degree_grouping.cpp" "src/order/CMakeFiles/gorder_order.dir/degree_grouping.cpp.o" "gcc" "src/order/CMakeFiles/gorder_order.dir/degree_grouping.cpp.o.d"
+  "/root/repo/src/order/exact.cpp" "src/order/CMakeFiles/gorder_order.dir/exact.cpp.o" "gcc" "src/order/CMakeFiles/gorder_order.dir/exact.cpp.o.d"
+  "/root/repo/src/order/gorder.cpp" "src/order/CMakeFiles/gorder_order.dir/gorder.cpp.o" "gcc" "src/order/CMakeFiles/gorder_order.dir/gorder.cpp.o.d"
+  "/root/repo/src/order/incremental_gorder.cpp" "src/order/CMakeFiles/gorder_order.dir/incremental_gorder.cpp.o" "gcc" "src/order/CMakeFiles/gorder_order.dir/incremental_gorder.cpp.o.d"
+  "/root/repo/src/order/ldg.cpp" "src/order/CMakeFiles/gorder_order.dir/ldg.cpp.o" "gcc" "src/order/CMakeFiles/gorder_order.dir/ldg.cpp.o.d"
+  "/root/repo/src/order/metis_like.cpp" "src/order/CMakeFiles/gorder_order.dir/metis_like.cpp.o" "gcc" "src/order/CMakeFiles/gorder_order.dir/metis_like.cpp.o.d"
+  "/root/repo/src/order/ordering.cpp" "src/order/CMakeFiles/gorder_order.dir/ordering.cpp.o" "gcc" "src/order/CMakeFiles/gorder_order.dir/ordering.cpp.o.d"
+  "/root/repo/src/order/parallel_gorder.cpp" "src/order/CMakeFiles/gorder_order.dir/parallel_gorder.cpp.o" "gcc" "src/order/CMakeFiles/gorder_order.dir/parallel_gorder.cpp.o.d"
+  "/root/repo/src/order/rcm.cpp" "src/order/CMakeFiles/gorder_order.dir/rcm.cpp.o" "gcc" "src/order/CMakeFiles/gorder_order.dir/rcm.cpp.o.d"
+  "/root/repo/src/order/slashburn.cpp" "src/order/CMakeFiles/gorder_order.dir/slashburn.cpp.o" "gcc" "src/order/CMakeFiles/gorder_order.dir/slashburn.cpp.o.d"
+  "/root/repo/src/order/unit_heap.cpp" "src/order/CMakeFiles/gorder_order.dir/unit_heap.cpp.o" "gcc" "src/order/CMakeFiles/gorder_order.dir/unit_heap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gorder_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gorder_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

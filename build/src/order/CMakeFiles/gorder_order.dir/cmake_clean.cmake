@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorder_order.dir/annealing.cpp.o"
+  "CMakeFiles/gorder_order.dir/annealing.cpp.o.d"
+  "CMakeFiles/gorder_order.dir/basic.cpp.o"
+  "CMakeFiles/gorder_order.dir/basic.cpp.o.d"
+  "CMakeFiles/gorder_order.dir/degree_grouping.cpp.o"
+  "CMakeFiles/gorder_order.dir/degree_grouping.cpp.o.d"
+  "CMakeFiles/gorder_order.dir/exact.cpp.o"
+  "CMakeFiles/gorder_order.dir/exact.cpp.o.d"
+  "CMakeFiles/gorder_order.dir/gorder.cpp.o"
+  "CMakeFiles/gorder_order.dir/gorder.cpp.o.d"
+  "CMakeFiles/gorder_order.dir/incremental_gorder.cpp.o"
+  "CMakeFiles/gorder_order.dir/incremental_gorder.cpp.o.d"
+  "CMakeFiles/gorder_order.dir/ldg.cpp.o"
+  "CMakeFiles/gorder_order.dir/ldg.cpp.o.d"
+  "CMakeFiles/gorder_order.dir/metis_like.cpp.o"
+  "CMakeFiles/gorder_order.dir/metis_like.cpp.o.d"
+  "CMakeFiles/gorder_order.dir/ordering.cpp.o"
+  "CMakeFiles/gorder_order.dir/ordering.cpp.o.d"
+  "CMakeFiles/gorder_order.dir/parallel_gorder.cpp.o"
+  "CMakeFiles/gorder_order.dir/parallel_gorder.cpp.o.d"
+  "CMakeFiles/gorder_order.dir/rcm.cpp.o"
+  "CMakeFiles/gorder_order.dir/rcm.cpp.o.d"
+  "CMakeFiles/gorder_order.dir/slashburn.cpp.o"
+  "CMakeFiles/gorder_order.dir/slashburn.cpp.o.d"
+  "CMakeFiles/gorder_order.dir/unit_heap.cpp.o"
+  "CMakeFiles/gorder_order.dir/unit_heap.cpp.o.d"
+  "libgorder_order.a"
+  "libgorder_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorder_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorder_util.dir/flags.cpp.o"
+  "CMakeFiles/gorder_util.dir/flags.cpp.o.d"
+  "CMakeFiles/gorder_util.dir/table.cpp.o"
+  "CMakeFiles/gorder_util.dir/table.cpp.o.d"
+  "libgorder_util.a"
+  "libgorder_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorder_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

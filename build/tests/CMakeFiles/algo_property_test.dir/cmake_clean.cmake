@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_property_test.dir/algo_property_test.cpp.o"
+  "CMakeFiles/algo_property_test.dir/algo_property_test.cpp.o.d"
+  "algo_property_test"
+  "algo_property_test.pdb"
+  "algo_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

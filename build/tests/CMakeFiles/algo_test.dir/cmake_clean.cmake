@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_test.dir/algo_test.cpp.o"
+  "CMakeFiles/algo_test.dir/algo_test.cpp.o.d"
+  "algo_test"
+  "algo_test.pdb"
+  "algo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

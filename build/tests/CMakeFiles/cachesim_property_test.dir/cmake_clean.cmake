@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachesim_property_test.dir/cachesim_property_test.cpp.o"
+  "CMakeFiles/cachesim_property_test.dir/cachesim_property_test.cpp.o.d"
+  "cachesim_property_test"
+  "cachesim_property_test.pdb"
+  "cachesim_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachesim_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

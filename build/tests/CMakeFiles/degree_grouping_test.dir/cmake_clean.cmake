@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degree_grouping_test.dir/degree_grouping_test.cpp.o"
+  "CMakeFiles/degree_grouping_test.dir/degree_grouping_test.cpp.o.d"
+  "degree_grouping_test"
+  "degree_grouping_test.pdb"
+  "degree_grouping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degree_grouping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

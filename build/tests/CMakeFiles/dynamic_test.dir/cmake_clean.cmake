@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_test.dir/dynamic_test.cpp.o"
+  "CMakeFiles/dynamic_test.dir/dynamic_test.cpp.o.d"
+  "dynamic_test"
+  "dynamic_test.pdb"
+  "dynamic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgelist_io_test.dir/edgelist_io_test.cpp.o"
+  "CMakeFiles/edgelist_io_test.dir/edgelist_io_test.cpp.o.d"
+  "edgelist_io_test"
+  "edgelist_io_test.pdb"
+  "edgelist_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgelist_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

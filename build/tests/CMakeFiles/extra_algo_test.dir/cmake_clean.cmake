@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_algo_test.dir/extra_algo_test.cpp.o"
+  "CMakeFiles/extra_algo_test.dir/extra_algo_test.cpp.o.d"
+  "extra_algo_test"
+  "extra_algo_test.pdb"
+  "extra_algo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_algo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_locality_test.dir/gen_locality_test.cpp.o"
+  "CMakeFiles/gen_locality_test.dir/gen_locality_test.cpp.o.d"
+  "gen_locality_test"
+  "gen_locality_test.pdb"
+  "gen_locality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_locality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorder_test.dir/gorder_test.cpp.o"
+  "CMakeFiles/gorder_test.dir/gorder_test.cpp.o.d"
+  "gorder_test"
+  "gorder_test.pdb"
+  "gorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

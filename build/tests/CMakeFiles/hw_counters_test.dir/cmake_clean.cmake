@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_counters_test.dir/hw_counters_test.cpp.o"
+  "CMakeFiles/hw_counters_test.dir/hw_counters_test.cpp.o.d"
+  "hw_counters_test"
+  "hw_counters_test.pdb"
+  "hw_counters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_counters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

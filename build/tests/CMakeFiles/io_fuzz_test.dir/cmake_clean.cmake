@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_fuzz_test.dir/io_fuzz_test.cpp.o"
+  "CMakeFiles/io_fuzz_test.dir/io_fuzz_test.cpp.o.d"
+  "io_fuzz_test"
+  "io_fuzz_test.pdb"
+  "io_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_gorder_test.dir/lazy_gorder_test.cpp.o"
+  "CMakeFiles/lazy_gorder_test.dir/lazy_gorder_test.cpp.o.d"
+  "lazy_gorder_test"
+  "lazy_gorder_test.pdb"
+  "lazy_gorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_gorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

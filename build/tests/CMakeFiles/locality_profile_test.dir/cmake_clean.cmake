@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_profile_test.dir/locality_profile_test.cpp.o"
+  "CMakeFiles/locality_profile_test.dir/locality_profile_test.cpp.o.d"
+  "locality_profile_test"
+  "locality_profile_test.pdb"
+  "locality_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metis_like_test.dir/metis_like_test.cpp.o"
+  "CMakeFiles/metis_like_test.dir/metis_like_test.cpp.o.d"
+  "metis_like_test"
+  "metis_like_test.pdb"
+  "metis_like_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metis_like_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_property_test.dir/order_property_test.cpp.o"
+  "CMakeFiles/order_property_test.dir/order_property_test.cpp.o.d"
+  "order_property_test"
+  "order_property_test.pdb"
+  "order_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_test.dir/order_test.cpp.o"
+  "CMakeFiles/order_test.dir/order_test.cpp.o.d"
+  "order_test"
+  "order_test.pdb"
+  "order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

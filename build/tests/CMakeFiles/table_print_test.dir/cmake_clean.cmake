@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_print_test.dir/table_print_test.cpp.o"
+  "CMakeFiles/table_print_test.dir/table_print_test.cpp.o.d"
+  "table_print_test"
+  "table_print_test.pdb"
+  "table_print_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_print_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

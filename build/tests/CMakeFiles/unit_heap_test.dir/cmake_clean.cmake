@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_heap_test.dir/unit_heap_test.cpp.o"
+  "CMakeFiles/unit_heap_test.dir/unit_heap_test.cpp.o.d"
+  "unit_heap_test"
+  "unit_heap_test.pdb"
+  "unit_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/edgelist_io_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/cachesim_test[1]_include.cmake")
+include("/root/repo/build/tests/algo_test[1]_include.cmake")
+include("/root/repo/build/tests/unit_heap_test[1]_include.cmake")
+include("/root/repo/build/tests/order_test[1]_include.cmake")
+include("/root/repo/build/tests/gorder_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/metis_like_test[1]_include.cmake")
+include("/root/repo/build/tests/degree_grouping_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_test[1]_include.cmake")
+include("/root/repo/build/tests/extra_algo_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamic_test[1]_include.cmake")
+include("/root/repo/build/tests/cachesim_property_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_counters_test[1]_include.cmake")
+include("/root/repo/build/tests/locality_profile_test[1]_include.cmake")
+include("/root/repo/build/tests/lazy_gorder_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_gorder_test[1]_include.cmake")
+include("/root/repo/build/tests/subgraph_test[1]_include.cmake")
+include("/root/repo/build/tests/order_property_test[1]_include.cmake")
+include("/root/repo/build/tests/algo_property_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_test[1]_include.cmake")
+include("/root/repo/build/tests/table_print_test[1]_include.cmake")
+include("/root/repo/build/tests/io_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_locality_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorder_cli.dir/gorder_cli.cpp.o"
+  "CMakeFiles/gorder_cli.dir/gorder_cli.cpp.o.d"
+  "gorder_cli"
+  "gorder_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorder_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,142 @@
+// micro_build — throughput of the CSR pipeline hot path (FromEdges,
+// Relabel, edge-list read/write) serial vs parallel, in edges/s.
+//
+// Every paper experiment pays Relabel once per (dataset, ordering) cell
+// and FromEdges once per dataset, and Faldu et al. ("A Closer Look at
+// Lightweight Graph Reordering", IISWC 2020) argue reordering cost must be
+// amortised against algorithm speedup — so build/relabel throughput is a
+// first-class metric, not plumbing. This binary reports it directly.
+//
+//   micro_build [--edges=2000000] [--repeats=3] [--threads=1,2,4]
+//               [--seed=42] [--csv]
+//
+// Speedups are reported relative to the first entry of --threads (use
+// "--threads=1,N" to compare serial vs N-way parallel).
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/gorder_lib.h"
+
+namespace gorder {
+namespace {
+
+double MedianSeconds(int repeats, const std::function<void()>& fn) {
+  std::vector<double> times;
+  times.reserve(repeats);
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    fn();
+    times.push_back(timer.Seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct PhaseResult {
+  std::string phase;
+  int threads;
+  double seconds;
+};
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto num_edges = static_cast<EdgeId>(flags.GetInt("edges", 2000000));
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const bool csv = flags.GetBool("csv", false);
+  std::string threads_arg = flags.GetString("threads", "1,2,4");
+  std::vector<int> thread_counts;
+  for (std::size_t pos = 0; pos != std::string::npos;) {
+    std::size_t comma = threads_arg.find(',', pos);
+    thread_counts.push_back(std::atoi(
+        threads_arg.substr(pos, comma == std::string::npos ? comma : comma - pos)
+            .c_str()));
+    pos = comma == std::string::npos ? comma : comma + 1;
+  }
+
+  Rng rng(seed);
+  const NodeId n = static_cast<NodeId>(num_edges / 8);
+  std::fprintf(stderr, "generating G(n=%u, m=%llu)...\n", n,
+               static_cast<unsigned long long>(num_edges));
+  Graph base = gen::ErdosRenyi(n, num_edges, rng);
+  std::vector<Edge> edges = base.ToEdges();
+  std::vector<NodeId> perm = IdentityPermutation(n);
+  rng.Shuffle(perm);
+  const auto tmp = std::filesystem::temp_directory_path() / "gorder_micro_build.txt";
+  const double m = static_cast<double>(base.NumEdges());
+
+  std::vector<PhaseResult> results;
+  for (int t : thread_counts) {
+    SetNumThreads(t);
+    results.push_back({"FromEdges", t, MedianSeconds(repeats, [&] {
+                         auto copy = edges;
+                         Graph g = Graph::FromEdges(n, std::move(copy));
+                         if (g.NumEdges() == 0) std::abort();
+                       })});
+    results.push_back({"Relabel", t, MedianSeconds(repeats, [&] {
+                         Graph h = base.Relabel(perm);
+                         if (h.NumEdges() != base.NumEdges()) std::abort();
+                       })});
+    results.push_back({"WriteEdgeList", t, MedianSeconds(repeats, [&] {
+                         if (!WriteEdgeList(tmp.string(), base).ok)
+                           std::abort();
+                       })});
+    results.push_back({"ReadEdgeList", t, MedianSeconds(repeats, [&] {
+                         Graph g;
+                         if (!ReadEdgeList(tmp.string(), &g).ok) std::abort();
+                         if (g.NumEdges() != base.NumEdges()) std::abort();
+                       })});
+  }
+  SetNumThreads(0);
+  std::filesystem::remove(tmp);
+
+  auto baseline = [&](const std::string& phase) {
+    for (const auto& r : results) {
+      if (r.phase == phase && r.threads == thread_counts.front())
+        return r.seconds;
+    }
+    return 0.0;
+  };
+  if (csv) {
+    std::printf("phase,threads,seconds,edges_per_sec,speedup\n");
+    for (const auto& r : results) {
+      std::printf("%s,%d,%.6f,%.3e,%.2f\n", r.phase.c_str(), r.threads,
+                  r.seconds, m / r.seconds, baseline(r.phase) / r.seconds);
+    }
+  } else {
+    std::printf("%-14s %8s %10s %14s %8s\n", "phase", "threads", "sec",
+                "edges/s", "speedup");
+    for (const auto& r : results) {
+      std::printf("%-14s %8d %10.4f %14.3e %7.2fx\n", r.phase.c_str(),
+                  r.threads, r.seconds, m / r.seconds,
+                  baseline(r.phase) / r.seconds);
+    }
+  }
+  // The headline number: build+relabel, best thread count vs the baseline.
+  double base_build = baseline("FromEdges") + baseline("Relabel");
+  double best_build = base_build;
+  int best_threads = thread_counts.front();
+  for (int t : thread_counts) {
+    double total = 0;
+    for (const auto& r : results) {
+      if (r.threads == t && (r.phase == "FromEdges" || r.phase == "Relabel"))
+        total += r.seconds;
+    }
+    if (total < best_build) {
+      best_build = total;
+      best_threads = t;
+    }
+  }
+  std::printf("FromEdges+Relabel: %.2fx speedup at %d threads vs %d\n",
+              base_build / best_build, best_threads, thread_counts.front());
+  return 0;
+}
+
+}  // namespace
+}  // namespace gorder
+
+int main(int argc, char** argv) { return gorder::Run(argc, argv); }

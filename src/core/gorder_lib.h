@@ -50,6 +50,7 @@
 #include "order/parallel_gorder.h"
 #include "order/unit_heap.h"
 #include "util/flags.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"

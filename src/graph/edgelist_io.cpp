@@ -1,10 +1,13 @@
 #include "graph/edgelist_io.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <vector>
+
+#include "util/parallel.h"
 
 namespace gorder {
 
@@ -19,43 +22,201 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+constexpr std::size_t kNoError = static_cast<std::size_t>(-1);
+
+/// Parse state for one chunk of the input buffer. Chunks are merged in
+/// file order, so the resulting edge sequence — and therefore the graph —
+/// is independent of the chunk count and thread schedule.
+struct ChunkParse {
+  std::vector<Edge> edges;
+  NodeId max_node = 0;
+  bool saw_node = false;
+  std::size_t error_offset = kNoError;  // byte offset of the offending line
+  const char* error_kind = nullptr;
+};
+
+/// Parses edge lines in `data[begin, end)`. `begin` is at a line start and
+/// `end` is at a line boundary (or end of buffer). Accepts the same inputs
+/// as the old sscanf("%u %u") parser: leading blanks, '#'/'%' comments,
+/// and arbitrary trailing junk after the two ids. Lines of any length are
+/// handled — the old fgets-based reader silently split lines longer than
+/// 255 bytes into two parses.
+void ParseChunk(const char* data, std::size_t begin, std::size_t end,
+                ChunkParse* out) {
+  std::size_t p = begin;
+  while (p < end) {
+    const std::size_t line_start = p;
+    while (p < end && (data[p] == ' ' || data[p] == '\t')) ++p;
+    if (p < end && (data[p] == '#' || data[p] == '%' || data[p] == '\n' ||
+                    data[p] == '\0')) {
+      while (p < end && data[p] != '\n') ++p;
+      if (p < end) ++p;  // consume '\n'
+      continue;
+    }
+    std::uint64_t ids[2];
+    bool ok = true;
+    for (int k = 0; k < 2 && ok; ++k) {
+      while (p < end && (data[p] == ' ' || data[p] == '\t')) ++p;
+      if (p >= end || data[p] < '0' || data[p] > '9') {
+        ok = false;
+        break;
+      }
+      std::uint64_t value = 0;
+      while (p < end && data[p] >= '0' && data[p] <= '9') {
+        value = value * 10 + static_cast<std::uint64_t>(data[p] - '0');
+        if (value > 0xFFFFFFFFFULL) value = 0xFFFFFFFFFULL;  // clamp, reject
+        ++p;
+      }
+      ids[k] = value;
+    }
+    if (!ok) {
+      out->error_offset = line_start;
+      out->error_kind = "malformed edge line";
+      return;
+    }
+    if (ids[0] > 0xFFFFFFFEULL || ids[1] > 0xFFFFFFFEULL) {
+      out->error_offset = line_start;
+      out->error_kind = "node id out of 32-bit range";
+      return;
+    }
+    NodeId src = static_cast<NodeId>(ids[0]);
+    NodeId dst = static_cast<NodeId>(ids[1]);
+    out->edges.push_back({src, dst});
+    NodeId hi = std::max(src, dst);
+    if (!out->saw_node || hi > out->max_node) out->max_node = hi;
+    out->saw_node = true;
+    while (p < end && data[p] != '\n') ++p;  // ignore the rest of the line
+    if (p < end) ++p;
+  }
+}
+
+std::size_t LineNumberAt(const std::vector<char>& data, std::size_t offset) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(data.begin(),
+                            data.begin() + static_cast<std::ptrdiff_t>(offset),
+                            '\n'));
+}
+
 }  // namespace
 
 IoResult ReadEdgeList(const std::string& path, Graph* graph) {
-  FilePtr f(std::fopen(path.c_str(), "r"));
+  FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return IoResult::Error("cannot open " + path);
-  Graph::Builder builder;
-  char line[256];
-  std::size_t lineno = 0;
-  while (std::fgets(line, sizeof line, f.get()) != nullptr) {
-    ++lineno;
-    const char* p = line;
-    while (*p == ' ' || *p == '\t') ++p;
-    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') continue;
-    std::uint64_t src = 0, dst = 0;
-    if (std::sscanf(p, "%" SCNu64 " %" SCNu64, &src, &dst) != 2) {
-      return IoResult::Error(path + ":" + std::to_string(lineno) +
-                             ": malformed edge line");
-    }
-    if (src > 0xFFFFFFFEULL || dst > 0xFFFFFFFEULL) {
-      return IoResult::Error(path + ":" + std::to_string(lineno) +
-                             ": node id out of 32-bit range");
-    }
-    builder.AddEdge(static_cast<NodeId>(src), static_cast<NodeId>(dst));
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return IoResult::Error("cannot seek " + path);
   }
-  *graph = builder.Build();
+  long size = std::ftell(f.get());
+  if (size < 0) return IoResult::Error("cannot stat " + path);
+  std::rewind(f.get());
+  std::vector<char> data(static_cast<std::size_t>(size));
+  if (!data.empty() &&
+      std::fread(data.data(), 1, data.size(), f.get()) != data.size()) {
+    return IoResult::Error("short read from " + path);
+  }
+  f.reset();
+
+  // Split into chunks at line boundaries; each chunk parses into a local
+  // buffer, merged in file order below.
+  const int threads = NumThreads();
+  const std::size_t want_chunks =
+      threads == 1 ? 1
+                   : std::min<std::size_t>(static_cast<std::size_t>(threads) * 4,
+                                           std::max<std::size_t>(
+                                               data.size() / (1 << 16), 1));
+  std::vector<std::size_t> bounds;  // chunk i is [bounds[i], bounds[i+1])
+  bounds.push_back(0);
+  const std::size_t stride = data.size() / want_chunks + 1;
+  for (std::size_t c = 1; c < want_chunks; ++c) {
+    std::size_t pos = std::min(c * stride, data.size());
+    pos = std::max(pos, bounds.back());
+    while (pos < data.size() && data[pos] != '\n') ++pos;
+    if (pos < data.size()) ++pos;  // start just past the newline
+    if (pos > bounds.back()) bounds.push_back(pos);
+  }
+  bounds.push_back(data.size());
+
+  const std::size_t num_chunks = bounds.size() - 1;
+  std::vector<ChunkParse> parts(num_chunks);
+  ParallelFor(0, num_chunks, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t c = b; c < e; ++c) {
+      ParseChunk(data.data(), bounds[c], bounds[c + 1], &parts[c]);
+    }
+  });
+
+  for (const ChunkParse& part : parts) {
+    if (part.error_offset != kNoError) {
+      return IoResult::Error(path + ":" +
+                             std::to_string(LineNumberAt(data, part.error_offset)) +
+                             ": " + part.error_kind);
+    }
+  }
+
+  std::size_t total = 0;
+  NodeId num_nodes = 0;
+  for (const ChunkParse& part : parts) {
+    total += part.edges.size();
+    if (part.saw_node && part.max_node + 1 > num_nodes) {
+      num_nodes = part.max_node + 1;
+    }
+  }
+  std::vector<Edge> edges(total);
+  std::size_t pos = 0;
+  std::vector<std::size_t> starts(num_chunks);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    starts[c] = pos;
+    pos += parts[c].edges.size();
+  }
+  ParallelFor(0, num_chunks, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t c = b; c < e; ++c) {
+      std::copy(parts[c].edges.begin(), parts[c].edges.end(),
+                edges.begin() + static_cast<std::ptrdiff_t>(starts[c]));
+    }
+  });
+  *graph = Graph::FromEdges(num_nodes, std::move(edges));
   return IoResult::Ok();
 }
+
+namespace {
+
+/// Appends the decimal form of `v` to `buf` at `pos`.
+inline std::size_t AppendU32(char* buf, std::size_t pos, std::uint32_t v) {
+  char digits[10];
+  int len = 0;
+  do {
+    digits[len++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (len > 0) buf[pos++] = digits[--len];
+  return pos;
+}
+
+}  // namespace
 
 IoResult WriteEdgeList(const std::string& path, const Graph& graph) {
   FilePtr f(std::fopen(path.c_str(), "w"));
   if (!f) return IoResult::Error("cannot open " + path + " for writing");
   std::fprintf(f.get(), "# Directed graph: %u nodes, %" PRIu64 " edges\n",
                graph.NumNodes(), graph.NumEdges());
+  // Buffered formatting: one fwrite per ~1MB instead of one fprintf per
+  // edge ("src dst\n" needs at most 22 bytes).
+  std::vector<char> buf(1 << 20);
+  std::size_t pos = 0;
   for (NodeId v = 0; v < graph.NumNodes(); ++v) {
     for (NodeId w : graph.OutNeighbors(v)) {
-      std::fprintf(f.get(), "%u %u\n", v, w);
+      if (pos + 24 > buf.size()) {
+        if (std::fwrite(buf.data(), 1, pos, f.get()) != pos) {
+          return IoResult::Error("short write to " + path);
+        }
+        pos = 0;
+      }
+      pos = AppendU32(buf.data(), pos, v);
+      buf[pos++] = ' ';
+      pos = AppendU32(buf.data(), pos, w);
+      buf[pos++] = '\n';
     }
+  }
+  if (pos > 0 && std::fwrite(buf.data(), 1, pos, f.get()) != pos) {
+    return IoResult::Error("short write to " + path);
   }
   return IoResult::Ok();
 }

@@ -23,9 +23,14 @@ struct IoResult {
 /// '#' and '%' comment lines skipped — the SNAP and Konect conventions).
 /// Node ids must be non-negative integers; ids are used verbatim, so the
 /// file's own numbering is the "Original" ordering, as in the paper.
+///
+/// The file is parsed in parallel chunks split at line boundaries
+/// (util/parallel.h); the resulting graph is identical at any thread
+/// count. Lines of arbitrary length are supported.
 IoResult ReadEdgeList(const std::string& path, Graph* graph);
 
-/// Writes "src dst" lines with a SNAP-style header comment.
+/// Writes "src dst" lines with a SNAP-style header comment, through a
+/// ~1MB formatting buffer (one fwrite per buffer, not per edge).
 IoResult WriteEdgeList(const std::string& path, const Graph& graph);
 
 /// Binary format: magic, counts, then raw CSR arrays. Round-trips exactly

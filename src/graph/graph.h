@@ -31,6 +31,11 @@ struct Edge {
 /// Construction goes through `Builder` (dedups, strips self-loops by
 /// default) or `FromEdges`. Copy is expensive and therefore explicit via
 /// `Clone`; the type itself is move-only.
+///
+/// `FromEdges` and `Relabel` run on the shared parallel runtime
+/// (util/parallel.h): counting-sort scatter plus per-node sorts, with the
+/// out- and in-CSR built concurrently. Results are bit-identical at any
+/// thread count; `SetNumThreads(1)` gives a fully serial build.
 class Graph {
  public:
   /// Incremental builder. Collects edges, then `Build()` produces the CSR.
@@ -107,7 +112,8 @@ class Graph {
   bool HasEdge(NodeId src, NodeId dst) const;
 
   /// Returns the renumbered graph under `perm`, where `perm[old] = new`.
-  /// Neighbour lists of the result are re-sorted. O(n + m).
+  /// Direct CSR -> CSR permutation (no intermediate edge list); neighbour
+  /// lists of the result are re-sorted. O(n + m).
   Graph Relabel(const std::vector<NodeId>& perm) const;
 
   /// Materialises the edge list (src/dst pairs, sorted by src then dst).

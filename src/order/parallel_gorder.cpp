@@ -1,11 +1,9 @@
 #include "order/parallel_gorder.h"
 
-#include <atomic>
-#include <thread>
-
 #include "order/gorder.h"
 #include "order/metis_like.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace gorder::order {
 
@@ -19,11 +17,7 @@ std::vector<NodeId> ParallelGorderOrder(const Graph& graph,
   if (num_parts == 1 || n < static_cast<NodeId>(num_parts) * 4) {
     return GorderOrder(graph, params);
   }
-  if (num_threads <= 0) {
-    num_threads = static_cast<int>(
-        std::min<unsigned>(num_parts, std::thread::hardware_concurrency()));
-    if (num_threads < 1) num_threads = 1;
-  }
+  if (num_threads <= 0) num_threads = NumThreads();
 
   // 1. Region layout: the Metis-like recursive bisection already numbers
   // nodes region-contiguously; cutting its arrangement into num_parts
@@ -46,44 +40,40 @@ std::vector<NodeId> ParallelGorderOrder(const Graph& graph,
         static_cast<std::uint64_t>(n) * (p + 1) / num_parts);
   }
 
-  // 2. Per-part sequential Gorder on the induced subgraph, in parallel.
-  // Parts are claimed from an atomic counter so threads load-balance.
-  std::atomic<int> next_part{0};
-  auto worker = [&]() {
-    std::vector<NodeId> global_to_local(n, kInvalidNode);
-    while (true) {
-      int p = next_part.fetch_add(1);
-      if (p >= num_parts) return;
-      const Part& part = parts[p];
-      const NodeId k = part.rank_end - part.rank_begin;
-      if (k == 0) continue;
-      std::vector<NodeId> members(k);
-      for (NodeId i = 0; i < k; ++i) {
-        members[i] = region_order[part.rank_begin + i];
-        global_to_local[members[i]] = i;
-      }
-      std::vector<Edge> edges;
-      for (NodeId i = 0; i < k; ++i) {
-        for (NodeId w : graph.OutNeighbors(members[i])) {
-          NodeId j = global_to_local[w];
-          if (j != kInvalidNode) edges.push_back({i, j});
+  // 2. Per-part sequential Gorder on the induced subgraph, on the shared
+  // thread pool. Grain 1 lets skewed parts load-balance dynamically.
+  ParallelFor(
+      0, static_cast<std::size_t>(num_parts), 1,
+      [&](std::size_t part_begin, std::size_t part_end) {
+        std::vector<NodeId> global_to_local(n, kInvalidNode);
+        for (std::size_t p = part_begin; p < part_end; ++p) {
+          const Part& part = parts[p];
+          const NodeId k = part.rank_end - part.rank_begin;
+          if (k == 0) continue;
+          std::vector<NodeId> members(k);
+          for (NodeId i = 0; i < k; ++i) {
+            members[i] = region_order[part.rank_begin + i];
+            global_to_local[members[i]] = i;
+          }
+          std::vector<Edge> edges;
+          for (NodeId i = 0; i < k; ++i) {
+            for (NodeId w : graph.OutNeighbors(members[i])) {
+              NodeId j = global_to_local[w];
+              if (j != kInvalidNode) edges.push_back({i, j});
+            }
+          }
+          Graph sub = Graph::FromEdges(k, std::move(edges),
+                                       /*keep_self_loops=*/true,
+                                       /*keep_duplicates=*/true);
+          std::vector<NodeId> local = GorderOrder(sub, params);
+          for (NodeId i = 0; i < k; ++i) {
+            // Writes are disjoint across parts: no synchronisation needed.
+            perm[members[i]] = part.rank_begin + local[i];
+            global_to_local[members[i]] = kInvalidNode;
+          }
         }
-      }
-      Graph sub = Graph::FromEdges(k, std::move(edges),
-                                   /*keep_self_loops=*/true,
-                                   /*keep_duplicates=*/true);
-      std::vector<NodeId> local = GorderOrder(sub, params);
-      for (NodeId i = 0; i < k; ++i) {
-        // Writes are disjoint across parts: no synchronisation needed.
-        perm[members[i]] = part.rank_begin + local[i];
-        global_to_local[members[i]] = kInvalidNode;
-      }
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
-  for (auto& t : threads) t.join();
+      },
+      num_threads);
   return perm;
 }
 

@@ -28,10 +28,13 @@ namespace gorder::order {
 ///
 /// Deterministic in (graph, params, num_parts) regardless of thread
 /// scheduling: each part's sub-ordering is independent.
+///
+/// Runs on the shared pool from util/parallel.h; `num_threads = 0` uses
+/// the global budget (`SetNumThreads` / GORDER_THREADS).
 std::vector<NodeId> ParallelGorderOrder(const Graph& graph,
                                         const OrderingParams& params = {},
                                         int num_parts = 4,
-                                        int num_threads = 0 /* = parts */);
+                                        int num_threads = 0 /* = global */);
 
 }  // namespace gorder::order
 

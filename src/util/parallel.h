@@ -1,0 +1,58 @@
+#ifndef GORDER_UTIL_PARALLEL_H_
+#define GORDER_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+namespace gorder {
+
+/// Shared parallel runtime: a lazily initialised fork-join thread pool.
+///
+/// The pool is created on the first parallel call that actually needs more
+/// than one thread, and is shared by every subsystem (CSR construction,
+/// relabelling, edge-list parsing, partition-parallel Gorder). Thread
+/// count comes from, in priority order: `SetNumThreads()` (the `--threads`
+/// flag of the CLI/bench binaries), the `GORDER_THREADS` environment
+/// variable, then `std::thread::hardware_concurrency()`.
+///
+/// Determinism contract: every primitive here hands out *statically
+/// determined* work ranges and requires bodies to write only to
+/// range-disjoint outputs (scatter slots, per-chunk buffers merged in
+/// chunk order). Under that discipline results are bit-identical at any
+/// thread count, and `NumThreads() == 1` degenerates to plain serial
+/// execution on the calling thread with the pool never touched.
+
+/// Current global thread budget (>= 1).
+int NumThreads();
+
+/// Sets the global thread budget. `n < 1` restores the default
+/// (GORDER_THREADS env var, else hardware concurrency).
+void SetNumThreads(int n);
+
+/// Runs `body(chunk_begin, chunk_end)` over `[begin, end)` split into
+/// chunks of at most `grain` items. Chunks are claimed dynamically by up
+/// to `max_threads` threads (0 = the global budget), so skewed chunks
+/// load-balance. The body must tolerate being called with any subrange:
+/// the serial fast path invokes it once with the whole range.
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 int max_threads = 0);
+
+namespace internal {
+void ParallelInvokeImpl(std::function<void()>* fns, int count);
+}  // namespace internal
+
+/// Runs the given callables concurrently and waits for all of them.
+/// Nested parallel calls inside the callables are legal: idle pool
+/// workers join whichever region has open work.
+template <typename... Fns>
+void ParallelInvoke(Fns&&... fns) {
+  std::function<void()> tasks[] = {
+      std::function<void()>(std::forward<Fns>(fns))...};
+  internal::ParallelInvokeImpl(tasks, static_cast<int>(sizeof...(Fns)));
+}
+
+}  // namespace gorder
+
+#endif  // GORDER_UTIL_PARALLEL_H_

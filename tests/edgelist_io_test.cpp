@@ -55,6 +55,37 @@ TEST_F(IoTest, TabSeparatedAccepted) {
   EXPECT_TRUE(g.HasEdge(0, 5));
 }
 
+TEST_F(IoTest, LongLinesParsedCorrectly) {
+  // The old fgets(256)-based reader silently split lines longer than 255
+  // bytes: the tail of a long comment came back as a second "line" and
+  // could be parsed as a bogus edge. Build a file where every failure
+  // mode of that reader is present.
+  std::string content;
+  content += "# long comment " + std::string(300, 'x') + " 7 8\n";
+  content += "0" + std::string(300, ' ') + "1\n";      // huge gap
+  content += "1 2" + std::string(300, ' ') + "\n";     // long tail
+  content += "2 3";                                    // no trailing newline
+  WriteFile("long.txt", content);
+  Graph g;
+  ASSERT_TRUE(ReadEdgeList(Path("long.txt"), &g).ok);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  // The comment tail (" 7 8") must not have become an edge or grown the
+  // node count past the real ids 0..3.
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+}
+
+TEST_F(IoTest, MalformedLongLineReportsRightLineNumber) {
+  std::string content = "0 1\n# " + std::string(500, 'c') + "\nbogus\n";
+  WriteFile("longbad.txt", content);
+  Graph g;
+  IoResult r = ReadEdgeList(Path("longbad.txt"), &g);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find(":3"), std::string::npos) << r.error;
+}
+
 TEST_F(IoTest, MalformedLineRejectedWithLineNumber) {
   WriteFile("bad.txt", "0 1\nnot an edge\n");
   Graph g;

@@ -4,7 +4,9 @@
 
 #include <cmath>
 
+#include "gen/generators.h"
 #include "graph/stats.h"
+#include "util/rng.h"
 
 namespace gorder {
 namespace {
@@ -89,6 +91,18 @@ TEST(GraphTest, RelabelPreservesStructure) {
           << u << "->" << v;
     }
   }
+}
+
+TEST(GraphTest, RelabelRoundTripsThroughInverse) {
+  Rng rng(21);
+  Graph g = gen::ErdosRenyi(120, 900, rng);
+  std::vector<NodeId> perm = IdentityPermutation(g.NumNodes());
+  rng.Shuffle(perm);
+  Graph back = g.Relabel(perm).Relabel(InvertPermutation(perm));
+  EXPECT_EQ(back.out_offsets(), g.out_offsets());
+  EXPECT_EQ(back.out_neighbors(), g.out_neighbors());
+  EXPECT_EQ(back.in_offsets(), g.in_offsets());
+  EXPECT_EQ(back.in_neighbors(), g.in_neighbors());
 }
 
 TEST(GraphTest, RelabelIdentityIsNoop) {

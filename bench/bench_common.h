@@ -18,12 +18,19 @@ namespace gorder::bench {
 ///   --repeats=<n>    timing repetitions (median reported)
 ///   --csv            machine-readable output
 ///   --seed=<s>       RNG seed for generation and randomised orderings
+///   --threads=<n>    global thread budget for the shared pool (graph
+///                    build/relabel and the untraced algorithm kernels;
+///                    results are bit-identical at any value). 0 keeps
+///                    the GORDER_THREADS/hardware default. For a full
+///                    per-thread-count speedup sweep see
+///                    bench/micro_parallel_algo.
 struct BenchOptions {
   double scale = 1.0;
   std::vector<std::string> datasets;
   int repeats = 1;
   bool csv = false;
   std::uint64_t seed = 42;
+  int threads = 0;
 
   static BenchOptions Parse(int argc, char** argv, double default_scale) {
     Flags flags(argc, argv);
@@ -32,6 +39,8 @@ struct BenchOptions {
     opt.repeats = static_cast<int>(flags.GetInt("repeats", 1));
     opt.csv = flags.GetBool("csv", false);
     opt.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+    opt.threads = static_cast<int>(flags.GetInt("threads", 0));
+    if (opt.threads > 0) SetNumThreads(opt.threads);
     std::string names = flags.GetString("datasets", "");
     if (names.empty()) {
       for (const auto& spec : gen::AllDatasets()) {

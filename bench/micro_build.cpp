@@ -48,15 +48,8 @@ int Run(int argc, char** argv) {
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   const bool csv = flags.GetBool("csv", false);
-  std::string threads_arg = flags.GetString("threads", "1,2,4");
-  std::vector<int> thread_counts;
-  for (std::size_t pos = 0; pos != std::string::npos;) {
-    std::size_t comma = threads_arg.find(',', pos);
-    thread_counts.push_back(std::atoi(
-        threads_arg.substr(pos, comma == std::string::npos ? comma : comma - pos)
-            .c_str()));
-    pos = comma == std::string::npos ? comma : comma + 1;
-  }
+  // Strict parse: `--threads=4x` is a hard error, not a silent 4.
+  std::vector<int> thread_counts = flags.GetIntList("threads", {1, 2, 4});
 
   Rng rng(seed);
   const NodeId n = static_cast<NodeId>(num_edges / 8);

@@ -1,0 +1,174 @@
+// micro_parallel_algo — per-thread-count speedup of the parallel
+// algorithm kernels (PageRank, BFS forest, SP, WCC, triangle count) on an
+// R-MAT graph, with bit-identity verification against the first (usually
+// serial) thread count baked in: a run that produced different results
+// would be reporting a meaningless speedup, so it aborts instead.
+//
+//   micro_parallel_algo [--edges=1000000] [--repeats=3] [--threads=1,2,4]
+//                       [--pr-iters=100] [--seed=42] [--csv]
+//
+// Speedups are relative to the first entry of --threads (use
+// "--threads=1,N" for the classic serial-vs-N comparison). The headline
+// line reports PageRank at the best thread count — the kernel the
+// paper's tables are built around.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/gorder_lib.h"
+
+namespace gorder {
+namespace {
+
+double MedianSeconds(int repeats, const std::function<void()>& fn) {
+  std::vector<double> times;
+  times.reserve(repeats);
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    fn();
+    times.push_back(timer.Seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+bool BitEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+struct Reference {
+  algo::PageRankResult pr;
+  algo::BfsResult bfs;
+  algo::SpResult sp;
+  algo::SccResult wcc;
+  std::uint64_t triangles = 0;
+};
+
+struct KernelResult {
+  std::string kernel;
+  int threads;
+  double seconds;
+};
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto num_edges = static_cast<EdgeId>(flags.GetInt("edges", 1000000));
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
+  const int pr_iters = static_cast<int>(flags.GetInt("pr-iters", 100));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const bool csv = flags.GetBool("csv", false);
+  std::vector<int> thread_counts = flags.GetIntList("threads", {1, 2, 4});
+  if (thread_counts.empty()) {
+    std::fprintf(stderr, "--threads must name at least one thread count\n");
+    return 2;
+  }
+
+  // R-MAT sized for ~8 edges per node, the benchmark suite's usual skew.
+  gen::RmatParams params;
+  params.num_edges = num_edges;
+  params.scale = 1;
+  while ((NodeId{1} << params.scale) < num_edges / 8) ++params.scale;
+  Rng rng(seed);
+  std::fprintf(stderr, "generating R-MAT(scale=%d, m=%llu)...\n",
+               params.scale,
+               static_cast<unsigned long long>(params.num_edges));
+  Graph g = gen::Rmat(params, rng);
+  NodeId src = 0;
+  for (NodeId v = 1; v < g.NumNodes(); ++v) {
+    if (g.OutDegree(v) > g.OutDegree(src)) src = v;
+  }
+
+  // Reference results at the baseline thread count; every other thread
+  // count must reproduce them bit for bit.
+  SetNumThreads(thread_counts.front());
+  Reference ref;
+  ref.pr = algo::PageRank(g, pr_iters);
+  ref.bfs = algo::BfsForest(g);
+  ref.sp = algo::Sp(g, src);
+  ref.wcc = algo::Wcc(g);
+  ref.triangles = algo::TriangleCount(g);
+
+  std::vector<KernelResult> results;
+  for (int t : thread_counts) {
+    SetNumThreads(t);
+    if (!BitEqual(algo::PageRank(g, pr_iters).rank, ref.pr.rank) ||
+        algo::BfsForest(g).level != ref.bfs.level ||
+        algo::Sp(g, src).dist != ref.sp.dist ||
+        algo::Wcc(g).component != ref.wcc.component ||
+        algo::TriangleCount(g) != ref.triangles) {
+      std::fprintf(stderr,
+                   "determinism violation at %d threads: results differ "
+                   "from %d-thread reference\n",
+                   t, thread_counts.front());
+      return 1;
+    }
+    results.push_back({"PageRank", t, MedianSeconds(repeats, [&] {
+                         if (algo::PageRank(g, pr_iters).rank.empty())
+                           std::abort();
+                       })});
+    results.push_back({"BFSForest", t, MedianSeconds(repeats, [&] {
+                         if (algo::BfsForest(g).num_reached == 0)
+                           std::abort();
+                       })});
+    results.push_back({"SP", t, MedianSeconds(repeats, [&] {
+                         if (algo::Sp(g, src).num_reached == 0) std::abort();
+                       })});
+    results.push_back({"WCC", t, MedianSeconds(repeats, [&] {
+                         if (algo::Wcc(g).num_components == 0) std::abort();
+                       })});
+    results.push_back({"Triangles", t, MedianSeconds(repeats, [&] {
+                         volatile std::uint64_t sink = algo::TriangleCount(g);
+                         (void)sink;
+                       })});
+  }
+  SetNumThreads(0);
+
+  auto baseline = [&](const std::string& kernel) {
+    for (const auto& r : results) {
+      if (r.kernel == kernel && r.threads == thread_counts.front()) {
+        return r.seconds;
+      }
+    }
+    return 0.0;
+  };
+  const double m = static_cast<double>(g.NumEdges());
+  if (csv) {
+    std::printf("kernel,threads,seconds,edges_per_sec,speedup\n");
+    for (const auto& r : results) {
+      std::printf("%s,%d,%.6f,%.3e,%.2f\n", r.kernel.c_str(), r.threads,
+                  r.seconds, m / r.seconds, baseline(r.kernel) / r.seconds);
+    }
+  } else {
+    std::printf("%-12s %8s %10s %14s %8s\n", "kernel", "threads", "sec",
+                "edges/s", "speedup");
+    for (const auto& r : results) {
+      std::printf("%-12s %8d %10.4f %14.3e %7.2fx\n", r.kernel.c_str(),
+                  r.threads, r.seconds, m / r.seconds,
+                  baseline(r.kernel) / r.seconds);
+    }
+  }
+  double best_pr = baseline("PageRank");
+  int best_threads = thread_counts.front();
+  for (const auto& r : results) {
+    if (r.kernel == "PageRank" && r.seconds < best_pr) {
+      best_pr = r.seconds;
+      best_threads = r.threads;
+    }
+  }
+  std::printf("PageRank(%d iters): %.2fx speedup at %d threads vs %d "
+              "(bit-identical ranks)\n",
+              pr_iters, baseline("PageRank") / best_pr, best_threads,
+              thread_counts.front());
+  return 0;
+}
+
+}  // namespace
+}  // namespace gorder
+
+int main(int argc, char** argv) { return gorder::Run(argc, argv); }

@@ -16,6 +16,14 @@ namespace gorder::algo {
 /// is exactly reproducible. Functions that take node arguments interpret
 /// them in the graph's *current* numbering; when comparing across
 /// orderings, map logical sources through the ordering permutation.
+///
+/// Threading: the heavy kernels (BFS, SP, PageRank; plus WCC and triangle
+/// counting in extra.h) run on the shared pool (util/parallel.h) when the
+/// global thread budget exceeds one, and are *bit-identical* to their
+/// serial counterparts at every thread count — the same contract the CSR
+/// pipeline keeps, enforced by tests/parallel_algo_test.cpp. The
+/// cache-traced variants (traced.h) always execute serially: the
+/// simulator models one ordered access stream.
 
 NqResult Nq(const Graph& graph);
 

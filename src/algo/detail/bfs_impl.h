@@ -6,8 +6,93 @@
 #include "algo/results.h"
 #include "graph/graph.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace gorder::algo::detail {
+
+/// Reusable scratch for the parallel level-synchronous BFS: the frontier
+/// double-buffer plus per-chunk candidate lists, allocated once per
+/// traversal (or forest) instead of once per level.
+struct BfsParallelScratch {
+  std::vector<NodeId> frontier;
+  std::vector<NodeId> next;
+  std::vector<std::vector<NodeId>> candidates;
+};
+
+/// Level-synchronous parallel BFS from `src`, bit-identical to the serial
+/// FIFO-queue kernel below. A serial FIFO queue visits nodes level by
+/// level, appending level-(L+1) nodes in (frontier scan order, adjacency
+/// order); here each level runs as:
+///  1. scan phase (parallel, read-only on `level`): fixed-size frontier
+///     chunks collect still-unvisited out-neighbours into per-chunk
+///     buffers;
+///  2. merge phase (serial, chunk order): first claim of a node wins,
+///     assigns its level and appends it to the next frontier.
+/// Chunk boundaries depend only on the frontier size, and merge order is
+/// (chunk index, within-chunk scan order) — exactly the serial discovery
+/// order — so `level`, `num_reached` and `sum_levels` match the serial
+/// kernel bit for bit at every thread count.
+inline void BfsFromParallelImpl(const Graph& graph, NodeId src,
+                                BfsResult& result,
+                                BfsParallelScratch& scratch) {
+  auto& level = result.level;
+  GORDER_DCHECK(level.size() == graph.NumNodes());
+  if (level[src] != kInfDistance) return;
+  level[src] = 0;
+  ++result.num_reached;
+  auto& frontier = scratch.frontier;
+  auto& next = scratch.next;
+  frontier.assign(1, src);
+  constexpr std::size_t kGrain = 1 << 9;
+  std::uint32_t next_level = 1;
+  while (!frontier.empty()) {
+    const std::size_t fsize = frontier.size();
+    next.clear();
+    if (fsize <= kGrain) {
+      // Single-chunk level: run the scan+merge fused and serially. Same
+      // scan order, so the result is unchanged; this keeps tiny levels
+      // (and whole tiny components in a forest) off the pool.
+      for (std::size_t i = 0; i < fsize; ++i) {
+        for (NodeId v : graph.OutNeighbors(frontier[i])) {
+          if (level[v] == kInfDistance) {
+            level[v] = next_level;
+            result.sum_levels += next_level;
+            ++result.num_reached;
+            next.push_back(v);
+          }
+        }
+      }
+    } else {
+      const std::size_t num_chunks = (fsize + kGrain - 1) / kGrain;
+      auto& cand = scratch.candidates;
+      if (cand.size() < num_chunks) cand.resize(num_chunks);
+      ParallelFor(0, fsize, kGrain, [&](std::size_t b, std::size_t e) {
+        auto& out = cand[b / kGrain];
+        out.clear();
+        for (std::size_t i = b; i < e; ++i) {
+          for (NodeId v : graph.OutNeighbors(frontier[i])) {
+            // Read-only pre-filter: `level` is stable during the scan,
+            // so this drops everything but fresh nodes (plus cross-chunk
+            // duplicates, which the merge dedups).
+            if (level[v] == kInfDistance) out.push_back(v);
+          }
+        }
+      });
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        for (NodeId v : cand[c]) {
+          if (level[v] == kInfDistance) {
+            level[v] = next_level;
+            result.sum_levels += next_level;
+            ++result.num_reached;
+            next.push_back(v);
+          }
+        }
+      }
+    }
+    frontier.swap(next);
+    ++next_level;
+  }
+}
 
 /// Expands one BFS tree rooted at `src` into `result` (levels relative to
 /// the root). Nodes already levelled are skipped, so repeated calls build
@@ -43,11 +128,22 @@ void BfsFromImpl(const Graph& graph, NodeId src, Tracer& tracer,
   }
 }
 
-/// Single-source BFS.
+/// Single-source BFS. Untraced instantiations run level-synchronous and
+/// parallel when the thread budget exceeds one; the cache-traced path is
+/// always the serial queue (one simulated access stream).
 template <class Tracer>
 BfsResult BfsImpl(const Graph& graph, NodeId src, Tracer& tracer) {
   BfsResult result;
   result.level.assign(graph.NumNodes(), kInfDistance);
+  if constexpr (!Tracer::kEnabled) {
+    if (NumThreads() > 1) {
+      BfsParallelScratch scratch;
+      scratch.frontier.reserve(graph.NumNodes());
+      scratch.next.reserve(graph.NumNodes());
+      BfsFromParallelImpl(graph, src, result, scratch);
+      return result;
+    }
+  }
   std::vector<NodeId> queue;
   queue.reserve(graph.NumNodes());
   BfsFromImpl(graph, src, tracer, result, queue);
@@ -61,6 +157,17 @@ template <class Tracer>
 BfsResult BfsForestImpl(const Graph& graph, Tracer& tracer) {
   BfsResult result;
   result.level.assign(graph.NumNodes(), kInfDistance);
+  if constexpr (!Tracer::kEnabled) {
+    if (NumThreads() > 1) {
+      BfsParallelScratch scratch;
+      scratch.frontier.reserve(graph.NumNodes());
+      scratch.next.reserve(graph.NumNodes());
+      for (NodeId src = 0; src < graph.NumNodes(); ++src) {
+        BfsFromParallelImpl(graph, src, result, scratch);
+      }
+      return result;
+    }
+  }
   std::vector<NodeId> queue;
   queue.reserve(graph.NumNodes());
   for (NodeId src = 0; src < graph.NumNodes(); ++src) {

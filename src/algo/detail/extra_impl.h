@@ -2,12 +2,150 @@
 #define GORDER_ALGO_DETAIL_EXTRA_IMPL_H_
 
 #include <algorithm>
+#include <atomic>
+#include <numeric>
 #include <vector>
 
 #include "algo/results.h"
 #include "graph/graph.h"
+#include "util/parallel.h"
 
 namespace gorder::algo::detail {
+
+/// Builds the per-node sorted lists of higher-id undirected neighbours
+/// shared by the serial and parallel triangle kernels. Writes to `up[v]`
+/// are range-disjoint (one owner per node), so the parallel fill is
+/// bit-identical to a serial one.
+inline void BuildUpLists(const Graph& graph,
+                         std::vector<std::vector<NodeId>>& up) {
+  const NodeId n = graph.NumNodes();
+  up.assign(n, {});
+  ParallelFor(0, n, 1 << 11, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      NodeId v = static_cast<NodeId>(i);
+      auto add = [&](NodeId w) {
+        if (w > v) up[v].push_back(w);
+      };
+      for (NodeId w : graph.OutNeighbors(v)) add(w);
+      for (NodeId w : graph.InNeighbors(v)) add(w);
+      std::sort(up[v].begin(), up[v].end());
+      up[v].erase(std::unique(up[v].begin(), up[v].end()), up[v].end());
+    }
+  });
+}
+
+/// Parallel triangle count: after the parallel up-list build, node chunks
+/// count into per-chunk partials combined in chunk order. The total is an
+/// integer sum, so it is identical to the serial kernel regardless of
+/// chunking.
+inline std::uint64_t TriangleCountParallelImpl(
+    const Graph& graph, std::vector<std::vector<NodeId>>* scratch) {
+  const NodeId n = graph.NumNodes();
+  std::vector<std::vector<NodeId>>& up = *scratch;
+  BuildUpLists(graph, up);
+  constexpr std::size_t kGrain = 1 << 8;
+  const std::size_t num_chunks = n == 0 ? 0 : (n + kGrain - 1) / kGrain;
+  std::vector<std::uint64_t> partial(num_chunks, 0);
+  ParallelFor(0, n, kGrain, [&](std::size_t b, std::size_t e) {
+    std::uint64_t triangles = 0;
+    for (std::size_t i = b; i < e; ++i) {
+      const auto& na = up[i];
+      for (NodeId bb : na) {
+        const auto& nb = up[bb];
+        auto ia = na.begin();
+        auto ib = nb.begin();
+        while (ia != na.end() && ib != nb.end()) {
+          if (*ia < *ib) {
+            ++ia;
+          } else if (*ib < *ia) {
+            ++ib;
+          } else {
+            ++triangles;
+            ++ia;
+            ++ib;
+          }
+        }
+      }
+    }
+    partial[b / kGrain] = triangles;
+  });
+  return std::accumulate(partial.begin(), partial.end(),
+                         std::uint64_t{0});
+}
+
+/// Parallel weakly connected components by deterministic min-hooking plus
+/// pointer jumping (Shiloach-Vishkin style). Every phase computes its new
+/// state from a snapshot of the old (double-buffered, range-disjoint
+/// writes), and `min` is order-independent, so `parent` converges to the
+/// minimum node id of each component identically at every thread count.
+/// The final serial compaction scans nodes ascending and assigns dense
+/// component ids in first-seen order — a component is first seen at its
+/// minimum node, which is exactly the discovery order of the serial BFS
+/// flooding kernel, so the output is bit-identical to it.
+inline SccResult WccParallelImpl(const Graph& graph) {
+  const NodeId n = graph.NumNodes();
+  SccResult result;
+  result.component.assign(n, kInvalidNode);
+  if (n == 0) return result;
+
+  constexpr std::size_t kGrain = 1 << 11;
+  std::vector<NodeId> parent(n);
+  std::iota(parent.begin(), parent.end(), NodeId{0});
+  std::vector<NodeId> next(n);
+  std::atomic<bool> changed{true};
+  while (changed.load(std::memory_order_relaxed)) {
+    // Hook: next[v] = min parent over v's closed undirected neighbourhood,
+    // all reads from the stable `parent` snapshot.
+    changed.store(false, std::memory_order_relaxed);
+    ParallelFor(0, n, kGrain, [&](std::size_t b, std::size_t e) {
+      bool local_changed = false;
+      for (std::size_t i = b; i < e; ++i) {
+        NodeId v = static_cast<NodeId>(i);
+        NodeId m = parent[v];
+        for (NodeId u : graph.OutNeighbors(v)) m = std::min(m, parent[u]);
+        for (NodeId u : graph.InNeighbors(v)) m = std::min(m, parent[u]);
+        next[v] = m;
+        if (m != parent[v]) local_changed = true;
+      }
+      if (local_changed) changed.store(true, std::memory_order_relaxed);
+    });
+    parent.swap(next);
+    // Jump: shortcut parent chains to their roots (each pass halves the
+    // chain depth; `parent[x] <= x` always, so passes strictly decrease).
+    std::atomic<bool> jumped{true};
+    while (jumped.load(std::memory_order_relaxed)) {
+      jumped.store(false, std::memory_order_relaxed);
+      ParallelFor(0, n, kGrain, [&](std::size_t b, std::size_t e) {
+        bool local_jumped = false;
+        for (std::size_t i = b; i < e; ++i) {
+          NodeId p = parent[i];
+          NodeId pp = parent[p];
+          next[i] = pp;
+          if (pp != p) local_jumped = true;
+        }
+        if (local_jumped) jumped.store(true, std::memory_order_relaxed);
+      });
+      parent.swap(next);
+    }
+  }
+
+  // Compact min-labels to dense ids in ascending first-seen order.
+  std::vector<NodeId> remap(n, kInvalidNode);
+  std::vector<NodeId> sizes;
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId p = parent[v];
+    if (remap[p] == kInvalidNode) {
+      remap[p] = result.num_components++;
+      sizes.push_back(0);
+    }
+    result.component[v] = remap[p];
+    ++sizes[remap[p]];
+  }
+  for (NodeId s : sizes) {
+    result.largest_component = std::max(result.largest_component, s);
+  }
+  return result;
+}
 
 /// Triangle counting over the undirected simple view, node-iterator
 /// style with sorted-merge intersections. The inner merge reads two
@@ -19,22 +157,20 @@ namespace gorder::algo::detail {
 /// To avoid materialising an undirected CSR, each directed edge (u, v)
 /// is treated as the unordered pair {u, v} and deduplicated by only
 /// counting pairs u < v; a triangle {a < b < c} is counted once.
+///
+/// Untraced instantiations count chunk-parallel when the thread budget
+/// exceeds one; the cache-traced path keeps the serial scan (one
+/// simulated access stream). The up-list build is untraced either way.
 template <class Tracer>
 std::uint64_t TriangleCountImpl(const Graph& graph, Tracer& tracer,
                                 std::vector<std::vector<NodeId>>* scratch) {
+  if constexpr (!Tracer::kEnabled) {
+    if (NumThreads() > 1) return TriangleCountParallelImpl(graph, scratch);
+  }
   const NodeId n = graph.NumNodes();
   // Build per-node sorted lists of *higher-id* undirected neighbours.
   std::vector<std::vector<NodeId>>& up = *scratch;
-  up.assign(n, {});
-  for (NodeId v = 0; v < n; ++v) {
-    auto add = [&](NodeId w) {
-      if (w > v) up[v].push_back(w);
-    };
-    for (NodeId w : graph.OutNeighbors(v)) add(w);
-    for (NodeId w : graph.InNeighbors(v)) add(w);
-    std::sort(up[v].begin(), up[v].end());
-    up[v].erase(std::unique(up[v].begin(), up[v].end()), up[v].end());
-  }
+  BuildUpLists(graph, up);
   std::uint64_t triangles = 0;
   for (NodeId a = 0; a < n; ++a) {
     const auto& na = up[a];
@@ -62,9 +198,18 @@ std::uint64_t TriangleCountImpl(const Graph& graph, Tracer& tracer,
 }
 
 /// Weakly connected components via breadth-first label flooding over
-/// the undirected view. Returns component ids (dense, by discovery).
+/// the undirected view. Returns component ids (dense, by discovery;
+/// equivalently ordered by each component's minimum node id, since the
+/// ascending root scan discovers a component at its smallest node).
+///
+/// Untraced instantiations run the hooking/pointer-jumping kernel when
+/// the thread budget exceeds one; the cache-traced path always floods
+/// serially.
 template <class Tracer>
 SccResult WccImpl(const Graph& graph, Tracer& tracer) {
+  if constexpr (!Tracer::kEnabled) {
+    if (NumThreads() > 1) return WccParallelImpl(graph);
+  }
   const NodeId n = graph.NumNodes();
   SccResult result;
   result.component.assign(n, kInvalidNode);

@@ -1,12 +1,77 @@
 #ifndef GORDER_ALGO_DETAIL_SP_IMPL_H_
 #define GORDER_ALGO_DETAIL_SP_IMPL_H_
 
+#include <utility>
 #include <vector>
 
 #include "algo/results.h"
 #include "graph/graph.h"
+#include "util/parallel.h"
 
 namespace gorder::algo::detail {
+
+/// Round-parallel Bellman-Ford, bit-identical to the serial kernel below.
+/// Each round:
+///  1. relax phase (parallel, read-only on `dist`): fixed-size chunks of
+///     the active list scan their out-edges and record improving
+///     proposals (v, dist[u] + 1) into per-chunk buffers;
+///  2. commit phase (serial, chunk order): proposals apply in (chunk
+///     index, within-chunk scan order) — the serial kernel's exact scan
+///     order — updating `dist`, `num_reached`, `max_dist` and the next
+///     active list with identical side effects.
+/// The read-only relax phase is safe because with unit weights from a
+/// single source every active node of round r has dist r-1 and every
+/// value assigned in round r is exactly r, so the serial kernel never
+/// observes an in-round write either — round-snapshot semantics and the
+/// serial semantics coincide, which the differential tests pin down.
+inline SpResult SpParallelImpl(const Graph& graph, NodeId src) {
+  const NodeId n = graph.NumNodes();
+  SpResult result;
+  result.dist.assign(n, kInfDistance);
+  result.dist[src] = 0;
+  result.num_reached = 1;
+
+  std::vector<NodeId> active{src};
+  std::vector<NodeId> next_active;
+  std::vector<bool> in_next(n, false);
+  std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> proposals;
+  auto& dist = result.dist;
+  constexpr std::size_t kGrain = 1 << 9;
+  while (!active.empty()) {
+    ++result.num_rounds;
+    const std::size_t asize = active.size();
+    const std::size_t num_chunks = (asize + kGrain - 1) / kGrain;
+    if (proposals.size() < num_chunks) proposals.resize(num_chunks);
+    ParallelFor(0, asize, kGrain, [&](std::size_t b, std::size_t e) {
+      auto& out = proposals[b / kGrain];
+      out.clear();
+      for (std::size_t i = b; i < e; ++i) {
+        NodeId u = active[i];
+        std::uint32_t du = dist[u];
+        for (NodeId v : graph.OutNeighbors(u)) {
+          if (dist[v] > du + 1) out.push_back({v, du + 1});
+        }
+      }
+    });
+    next_active.clear();
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      for (const auto& [v, d] : proposals[c]) {
+        if (dist[v] > d) {
+          if (dist[v] == kInfDistance) ++result.num_reached;
+          dist[v] = d;
+          result.max_dist = std::max(result.max_dist, d);
+          if (!in_next[v]) {
+            in_next[v] = true;
+            next_active.push_back(v);
+          }
+        }
+      }
+    }
+    active.swap(next_active);
+    for (NodeId v : active) in_next[v] = false;
+  }
+  return result;
+}
 
 /// Bellman-Ford single-source shortest paths with unit edge weights and
 /// the "simple optimisation" of only relaxing out of nodes whose distance
@@ -14,8 +79,14 @@ namespace gorder::algo::detail {
 /// O(delta * m) where delta is the source's eccentricity. The paper keeps
 /// Bellman-Ford (rather than BFS) deliberately, as a representative
 /// relaxation workload; so do we.
+///
+/// Untraced instantiations relax round-parallel when the thread budget
+/// exceeds one; the cache-traced path always runs this serial body.
 template <class Tracer>
 SpResult SpImpl(const Graph& graph, NodeId src, Tracer& tracer) {
+  if constexpr (!Tracer::kEnabled) {
+    if (NumThreads() > 1) return SpParallelImpl(graph, src);
+  }
   const NodeId n = graph.NumNodes();
   const auto& off = graph.out_offsets();
   SpResult result;

@@ -13,6 +13,10 @@ namespace gorder::algo {
 /// consistent efficiency on all algorithms and datasets suggests that it
 /// could speed up other graph algorithms as well" — these test that
 /// suggestion; see bench/ext_workloads).
+///
+/// TriangleCount and Wcc parallelize on the shared pool when the thread
+/// budget exceeds one, bit-identically to their serial paths (see
+/// algorithms.h for the contract); the traced variants stay serial.
 
 /// Number of triangles in the undirected simple view.
 std::uint64_t TriangleCount(const Graph& graph);

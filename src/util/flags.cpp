@@ -1,9 +1,33 @@
 #include "util/flags.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
 namespace gorder {
+
+namespace {
+
+[[noreturn]] void BadValue(const std::string& key, const std::string& value,
+                           const char* kind) {
+  std::fprintf(stderr, "flag --%s: '%s' is not a valid %s\n", key.c_str(),
+               value.c_str(), kind);
+  std::exit(2);
+}
+
+std::int64_t ParseIntStrict(const std::string& key,
+                            const std::string& value) {
+  const char* s = value.c_str();
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    BadValue(key, value, "integer");
+  }
+  return v;
+}
+
+}  // namespace
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -35,13 +59,39 @@ std::string Flags::GetString(const std::string& key,
 
 std::int64_t Flags::GetInt(const std::string& key, std::int64_t def) const {
   auto it = values_.find(key);
-  return it == values_.end() ? def : std::strtoll(it->second.c_str(),
-                                                  nullptr, 10);
+  if (it == values_.end()) return def;
+  return ParseIntStrict(key, it->second);
 }
 
 double Flags::GetDouble(const std::string& key, double def) const {
   auto it = values_.find(key);
-  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == values_.end()) return def;
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    BadValue(key, it->second, "number");
+  }
+  return v;
+}
+
+std::vector<int> Flags::GetIntList(const std::string& key,
+                                   const std::vector<int>& def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  std::vector<int> result;
+  const std::string& value = it->second;
+  std::size_t pos = 0;
+  while (true) {
+    std::size_t comma = value.find(',', pos);
+    std::string elem = value.substr(
+        pos, comma == std::string::npos ? comma : comma - pos);
+    result.push_back(static_cast<int>(ParseIntStrict(key, elem)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return result;
 }
 
 bool Flags::GetBool(const std::string& key, bool def) const {

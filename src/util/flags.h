@@ -4,12 +4,15 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace gorder {
 
 /// Tiny `--key=value` / `--flag` command-line parser for the benchmark and
 /// example binaries. Unknown positional arguments are rejected so typos in
-/// experiment scripts fail loudly instead of silently running defaults.
+/// experiment scripts fail loudly instead of silently running defaults —
+/// and so are malformed numeric values: `--threads=4x` exits with a clear
+/// error instead of being truncated to 4.
 class Flags {
  public:
   /// Parses argv. Aborts with a usage message on malformed input.
@@ -18,9 +21,15 @@ class Flags {
   bool Has(const std::string& key) const;
   std::string GetString(const std::string& key,
                         const std::string& def) const;
+  /// Numeric getters exit(2) with a diagnostic if the value is present
+  /// but not fully parseable (empty, non-numeric, trailing garbage).
   std::int64_t GetInt(const std::string& key, std::int64_t def) const;
   double GetDouble(const std::string& key, double def) const;
   bool GetBool(const std::string& key, bool def) const;
+  /// Comma-separated integer list, e.g. `--threads=1,2,8`. Every element
+  /// is parsed strictly; empty elements are rejected.
+  std::vector<int> GetIntList(const std::string& key,
+                              const std::vector<int>& def) const;
 
  private:
   std::map<std::string, std::string> values_;

@@ -1,0 +1,247 @@
+// Differential suite for the parallel algorithm kernels: every
+// parallelized workload (PageRank, BFS, WCC, triangle counting, SP) must
+// produce *bit-identical* results at 1, 2 and 8 threads — the same
+// contract tests/parallel_test.cpp enforces for the CSR pipeline — across
+// random-model graphs and the usual degenerate shapes (empty, singleton,
+// self-loops, duplicates, disconnected). The cache-traced variants run
+// the original serial bodies unconditionally, so comparing the parallel
+// output against them additionally pins the parallel kernels to the
+// historical serial semantics, floating point included.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algo/algorithms.h"
+#include "algo/extra.h"
+#include "algo/traced.h"
+#include "gen/generators.h"
+#include "graph/graph.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace gorder {
+namespace {
+
+class ThreadGuard {
+ public:
+  ~ThreadGuard() { SetNumThreads(0); }
+};
+
+/// The graph cases every kernel is differenced on. Edge cases ride along
+/// with the three random models the reordering benches use.
+std::vector<std::pair<std::string, Graph>> MakeCases() {
+  std::vector<std::pair<std::string, Graph>> cases;
+  Rng rng(99);
+  cases.emplace_back("er", gen::ErdosRenyi(600, 6000, rng));
+  cases.emplace_back("rmat",
+                     gen::Rmat({.scale = 10, .num_edges = 20000}, rng));
+  cases.emplace_back("copying", gen::CopyingModel(800, 5, 0.5, rng));
+  cases.emplace_back("empty", Graph::FromEdges(0, {}));
+  cases.emplace_back("singleton", Graph::FromEdges(1, {}));
+  cases.emplace_back("isolated", Graph::FromEdges(5, {}));
+  cases.emplace_back(
+      "selfloops",
+      Graph::FromEdges(4, {{0, 0}, {0, 1}, {1, 1}, {2, 2}, {3, 0}},
+                       /*keep_self_loops=*/true));
+  cases.emplace_back(
+      "dup_edges",
+      Graph::FromEdges(4, {{0, 1}, {0, 1}, {1, 2}, {1, 2}, {2, 0}},
+                       /*keep_self_loops=*/false, /*keep_duplicates=*/true));
+  // Two components plus isolated tail nodes: exercises forest/WCC paths.
+  cases.emplace_back("disconnected",
+                     Graph::FromEdges(10, {{0, 1}, {1, 2}, {2, 0},
+                                           {4, 5}, {5, 6}}));
+  // Long path: worst case for pointer-jumping depth and BFS level count.
+  {
+    std::vector<Edge> path;
+    for (NodeId v = 0; v + 1 < 300; ++v) path.push_back({v, v + 1});
+    cases.emplace_back("path", Graph::FromEdges(300, std::move(path)));
+  }
+  return cases;
+}
+
+/// Doubles are compared through their bit patterns: the contract is
+/// bit-identity, not approximate equality.
+void ExpectBitEqual(const std::vector<double>& a,
+                    const std::vector<double>& b, const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t ba, bb;
+    std::memcpy(&ba, &a[i], sizeof(ba));
+    std::memcpy(&bb, &b[i], sizeof(bb));
+    ASSERT_EQ(ba, bb) << what << " index " << i << " (" << a[i]
+                      << " vs " << b[i] << ")";
+  }
+}
+
+NodeId PickSource(const Graph& g) {
+  NodeId best = 0;
+  for (NodeId v = 1; v < g.NumNodes(); ++v) {
+    if (g.OutDegree(v) > g.OutDegree(best)) best = v;
+  }
+  return best;
+}
+
+TEST(ParallelAlgoDifferentialTest, PageRankBitIdentical) {
+  ThreadGuard guard;
+  for (auto& [name, g] : MakeCases()) {
+    SetNumThreads(1);
+    auto reference = algo::PageRank(g, 30, 0.85);
+    for (int threads : {2, 8}) {
+      SetNumThreads(threads);
+      auto got = algo::PageRank(g, 30, 0.85);
+      ExpectBitEqual(reference.rank, got.rank,
+                     name + " rank t=" + std::to_string(threads));
+      std::uint64_t mass_ref, mass_got;
+      std::memcpy(&mass_ref, &reference.total_mass, sizeof(mass_ref));
+      std::memcpy(&mass_got, &got.total_mass, sizeof(mass_got));
+      EXPECT_EQ(mass_ref, mass_got) << name << " t=" << threads;
+      EXPECT_EQ(reference.iterations, got.iterations);
+    }
+  }
+}
+
+TEST(ParallelAlgoDifferentialTest, BfsBitIdentical) {
+  ThreadGuard guard;
+  for (auto& [name, g] : MakeCases()) {
+    if (g.NumNodes() == 0) continue;  // Bfs requires a valid source.
+    const NodeId src = PickSource(g);
+    SetNumThreads(1);
+    auto ref_single = algo::Bfs(g, src);
+    auto ref_forest = algo::BfsForest(g);
+    for (int threads : {2, 8}) {
+      SetNumThreads(threads);
+      auto single = algo::Bfs(g, src);
+      EXPECT_EQ(ref_single.level, single.level) << name << " t=" << threads;
+      EXPECT_EQ(ref_single.num_reached, single.num_reached) << name;
+      EXPECT_EQ(ref_single.sum_levels, single.sum_levels) << name;
+      auto forest = algo::BfsForest(g);
+      EXPECT_EQ(ref_forest.level, forest.level) << name << " t=" << threads;
+      EXPECT_EQ(ref_forest.num_reached, forest.num_reached) << name;
+      EXPECT_EQ(ref_forest.sum_levels, forest.sum_levels) << name;
+    }
+  }
+}
+
+TEST(ParallelAlgoDifferentialTest, SpBitIdentical) {
+  ThreadGuard guard;
+  for (auto& [name, g] : MakeCases()) {
+    if (g.NumNodes() == 0) continue;
+    const NodeId src = PickSource(g);
+    SetNumThreads(1);
+    auto reference = algo::Sp(g, src);
+    for (int threads : {2, 8}) {
+      SetNumThreads(threads);
+      auto got = algo::Sp(g, src);
+      EXPECT_EQ(reference.dist, got.dist) << name << " t=" << threads;
+      EXPECT_EQ(reference.num_reached, got.num_reached) << name;
+      EXPECT_EQ(reference.max_dist, got.max_dist) << name;
+      EXPECT_EQ(reference.num_rounds, got.num_rounds) << name;
+    }
+  }
+}
+
+TEST(ParallelAlgoDifferentialTest, WccBitIdentical) {
+  ThreadGuard guard;
+  for (auto& [name, g] : MakeCases()) {
+    SetNumThreads(1);
+    auto reference = algo::Wcc(g);
+    for (int threads : {2, 8}) {
+      SetNumThreads(threads);
+      auto got = algo::Wcc(g);
+      EXPECT_EQ(reference.component, got.component)
+          << name << " t=" << threads;
+      EXPECT_EQ(reference.num_components, got.num_components) << name;
+      EXPECT_EQ(reference.largest_component, got.largest_component) << name;
+    }
+  }
+}
+
+TEST(ParallelAlgoDifferentialTest, TriangleCountBitIdentical) {
+  ThreadGuard guard;
+  for (auto& [name, g] : MakeCases()) {
+    SetNumThreads(1);
+    std::uint64_t reference = algo::TriangleCount(g);
+    for (int threads : {2, 8}) {
+      SetNumThreads(threads);
+      EXPECT_EQ(reference, algo::TriangleCount(g))
+          << name << " t=" << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The cache-traced variants always run the original serial bodies, so
+// parallel-at-8-threads vs traced differencing locks the parallel kernels
+// to the historical serial semantics (not merely to themselves).
+
+TEST(ParallelVsTracedTest, ParallelMatchesSerialTracedSemantics) {
+  ThreadGuard guard;
+  Rng rng(5);
+  Graph g = gen::Rmat({.scale = 9, .num_edges = 12000}, rng);
+  const NodeId src = PickSource(g);
+  SetNumThreads(8);
+
+  cachesim::CacheHierarchy caches(cachesim::CacheHierarchyConfig::TestTiny());
+  auto pr_traced = algo::PageRankTraced(g, 20, 0.85, caches);
+  auto pr = algo::PageRank(g, 20, 0.85);
+  ExpectBitEqual(pr_traced.rank, pr.rank, "pagerank vs traced");
+
+  auto bfs_traced = algo::BfsForestTraced(g, caches);
+  auto bfs = algo::BfsForest(g);
+  EXPECT_EQ(bfs_traced.level, bfs.level);
+  EXPECT_EQ(bfs_traced.num_reached, bfs.num_reached);
+  EXPECT_EQ(bfs_traced.sum_levels, bfs.sum_levels);
+
+  auto sp_traced = algo::SpTraced(g, src, caches);
+  auto sp = algo::Sp(g, src);
+  EXPECT_EQ(sp_traced.dist, sp.dist);
+  EXPECT_EQ(sp_traced.num_reached, sp.num_reached);
+  EXPECT_EQ(sp_traced.max_dist, sp.max_dist);
+  EXPECT_EQ(sp_traced.num_rounds, sp.num_rounds);
+
+  auto wcc_traced = algo::WccTraced(g, caches);
+  auto wcc = algo::Wcc(g);
+  EXPECT_EQ(wcc_traced.component, wcc.component);
+  EXPECT_EQ(wcc_traced.num_components, wcc.num_components);
+  EXPECT_EQ(wcc_traced.largest_component, wcc.largest_component);
+
+  EXPECT_EQ(algo::TriangleCountTraced(g, caches), algo::TriangleCount(g));
+}
+
+// Known-answer sanity on a hand-checkable graph, at every thread count:
+// a 4-clique (both edge directions) has 4 triangles, one component, and
+// BFS/SP distances of 1 from any source.
+TEST(ParallelAlgoDifferentialTest, KnownAnswersHoldAtAllThreadCounts) {
+  ThreadGuard guard;
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) edges.push_back({u, v});
+    }
+  }
+  Graph g = Graph::FromEdges(4, std::move(edges));
+  for (int threads : {1, 2, 8}) {
+    SetNumThreads(threads);
+    EXPECT_EQ(algo::TriangleCount(g), 4u) << threads;
+    auto wcc = algo::Wcc(g);
+    EXPECT_EQ(wcc.num_components, 1u) << threads;
+    EXPECT_EQ(wcc.largest_component, 4u) << threads;
+    auto bfs = algo::Bfs(g, 0);
+    EXPECT_EQ(bfs.num_reached, 4u) << threads;
+    EXPECT_EQ(bfs.sum_levels, 3u) << threads;
+    auto sp = algo::Sp(g, 0);
+    EXPECT_EQ(sp.num_reached, 4u) << threads;
+    EXPECT_EQ(sp.max_dist, 1u) << threads;
+    auto pr = algo::PageRank(g, 10);
+    EXPECT_NEAR(pr.total_mass, 1.0, 1e-9) << threads;
+    for (double r : pr.rank) EXPECT_NEAR(r, 0.25, 1e-12) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace gorder

@@ -75,6 +75,86 @@ TEST(ParallelForTest, RespectsMaxThreadsOne) {
   }
 }
 
+TEST(ParallelForTest, GrainOfOne) {
+  ThreadGuard guard;
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    std::vector<std::atomic<int>> hits(257);
+    ParallelFor(0, hits.size(), 1, [&](std::size_t b, std::size_t e) {
+      // Grain 1 means single-index chunks on the parallel path; the
+      // serial fast path (threads=1) hands over the whole range at once.
+      if (threads > 1) EXPECT_EQ(e, b + 1);
+      for (std::size_t i = b; i < e; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, GrainZeroTreatedAsOne) {
+  ThreadGuard guard;
+  SetNumThreads(4);
+  std::vector<std::atomic<int>> hits(64);
+  ParallelFor(0, hits.size(), 0, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeAtEveryThreadCount) {
+  ThreadGuard guard;
+  for (int threads : {1, 2, 8}) {
+    SetNumThreads(threads);
+    bool called = false;
+    ParallelFor(0, 0, 16, [&](std::size_t, std::size_t) { called = true; });
+    ParallelFor(7, 7, 16, [&](std::size_t, std::size_t) { called = true; });
+    EXPECT_FALSE(called) << threads;
+  }
+}
+
+// The shape the parallel algorithm kernels produce: a ParallelFor whose
+// body forks heterogeneous subtasks via ParallelInvoke, which themselves
+// run nested ParallelFors. Help-first nesting must complete every level
+// exactly once without deadlock.
+TEST(ParallelForTest, InvokeNestedInsideForCompletes) {
+  ThreadGuard guard;
+  SetNumThreads(4);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 64;
+  std::vector<std::atomic<int>> a(kOuter * kInner);
+  std::vector<std::atomic<int>> b(kOuter * kInner);
+  ParallelFor(0, kOuter, 1, [&](std::size_t ob, std::size_t oe) {
+    for (std::size_t o = ob; o < oe; ++o) {
+      ParallelInvoke(
+          [&, o] {
+            ParallelFor(0, kInner, 8, [&](std::size_t ib, std::size_t ie) {
+              for (std::size_t i = ib; i < ie; ++i) {
+                a[o * kInner + i].fetch_add(1, std::memory_order_relaxed);
+              }
+            });
+          },
+          [&, o] {
+            ParallelFor(0, kInner, 8, [&](std::size_t ib, std::size_t ie) {
+              for (std::size_t i = ib; i < ie; ++i) {
+                b[o * kInner + i].fetch_add(1, std::memory_order_relaxed);
+              }
+            });
+          });
+    }
+  });
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].load(), 1) << "a " << i;
+    ASSERT_EQ(b[i].load(), 1) << "b " << i;
+  }
+}
+
 TEST(ParallelInvokeTest, RunsAllTasks) {
   ThreadGuard guard;
   for (int threads : {1, 3}) {

@@ -117,5 +117,60 @@ TEST(FlagsTest, ExplicitFalse) {
   EXPECT_FALSE(flags.GetBool("verbose", true));
 }
 
+TEST(FlagsTest, ParsesIntList) {
+  const char* argv[] = {"prog", "--threads=1,2,8"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetIntList("threads", {4}),
+            (std::vector<int>{1, 2, 8}));
+  EXPECT_EQ(flags.GetIntList("absent", {1, 2}), (std::vector<int>{1, 2}));
+  const char* single[] = {"prog", "--threads=4"};
+  Flags f2(2, const_cast<char**>(single));
+  EXPECT_EQ(f2.GetIntList("threads", {}), (std::vector<int>{4}));
+}
+
+TEST(FlagsDeathTest, RejectsTruncatedInteger) {
+  // Historically `--threads=4x` silently parsed as 4; it must now fail
+  // loudly, like unknown positional arguments do.
+  const char* argv[] = {"prog", "--threads=4x"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EXIT(flags.GetInt("threads", 1), testing::ExitedWithCode(2),
+              "flag --threads: '4x' is not a valid integer");
+}
+
+TEST(FlagsDeathTest, RejectsNonNumericInteger) {
+  const char* argv[] = {"prog", "--iters=abc"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EXIT(flags.GetInt("iters", 1), testing::ExitedWithCode(2),
+              "flag --iters: 'abc' is not a valid integer");
+}
+
+TEST(FlagsDeathTest, RejectsEmptyIntegerValue) {
+  const char* argv[] = {"prog", "--iters="};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EXIT(flags.GetInt("iters", 1), testing::ExitedWithCode(2),
+              "not a valid integer");
+}
+
+TEST(FlagsDeathTest, RejectsTruncatedDouble) {
+  const char* argv[] = {"prog", "--scale=0.5pt"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EXIT(flags.GetDouble("scale", 1.0), testing::ExitedWithCode(2),
+              "flag --scale: '0.5pt' is not a valid number");
+}
+
+TEST(FlagsDeathTest, RejectsBadIntListElement) {
+  const char* argv[] = {"prog", "--threads=1,2x,4"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EXIT(flags.GetIntList("threads", {}), testing::ExitedWithCode(2),
+              "flag --threads: '2x' is not a valid integer");
+}
+
+TEST(FlagsDeathTest, RejectsEmptyIntListElement) {
+  const char* argv[] = {"prog", "--threads=1,,4"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EXIT(flags.GetIntList("threads", {}), testing::ExitedWithCode(2),
+              "not a valid integer");
+}
+
 }  // namespace
 }  // namespace gorder

@@ -9,13 +9,16 @@
 //   gorder_cli --cmd=gen     --dataset=flickr --scale=0.5 --out=g.txt
 //   gorder_cli --cmd=convert --in=g.txt --out=g.bin      (text <-> binary
 //                                                         by extension)
+//   gorder_cli --cmd=algo    --in=g.txt --algo=pr|bfs|sp|wcc|tc
+//              [--iters=20] [--source=N] [--repeats=3] [--threads=N]
 //
 // Methods: Original Random MinLA MinLogA RCM InDegSort ChDFS SlashBurn
 //          LDG Gorder Metis OutDegSort HubSort HubCluster DBG
 //
 // --threads=N (or the GORDER_THREADS env var) sizes the shared thread
-// pool used by graph build, relabel and edge-list parsing; --threads=1
-// is fully serial and produces identical output.
+// pool used by graph build, relabel, edge-list parsing and the untraced
+// algorithm kernels (--cmd=algo); --threads=1 is fully serial and
+// produces identical output at any thread count.
 
 #include <cstdio>
 #include <cstring>
@@ -136,6 +139,75 @@ int CmdConvert(const Flags& flags) {
   return StoreGraph(flags.GetString("out", "out.bin"), g);
 }
 
+/// Runs one benchmark kernel on the loaded graph — the CLI surface for
+/// the parallel algorithm kernels. Prints a result fingerprint (so runs
+/// at different --threads can be diffed for the bit-identity contract)
+/// and the median wall time.
+int CmdAlgo(const Flags& flags) {
+  Graph g;
+  if (LoadGraph(flags.GetString("in", ""), &g) != 0) return 1;
+  if (g.NumNodes() == 0) {
+    std::fprintf(stderr, "error: graph is empty\n");
+    return 1;
+  }
+  const std::string name = flags.GetString("algo", "pr");
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
+  const int iters = static_cast<int>(flags.GetInt("iters", 20));
+  NodeId src = 0;
+  if (flags.Has("source")) {
+    src = static_cast<NodeId>(flags.GetInt("source", 0));
+    if (src >= g.NumNodes()) {
+      std::fprintf(stderr, "error: --source=%u out of range (n=%u)\n", src,
+                   g.NumNodes());
+      return 1;
+    }
+  } else {
+    for (NodeId v = 1; v < g.NumNodes(); ++v) {
+      if (g.OutDegree(v) > g.OutDegree(src)) src = v;
+    }
+  }
+
+  double best = 0.0;
+  std::string summary;
+  char buf[256];
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    if (name == "pr") {
+      auto res = algo::PageRank(g, iters);
+      std::snprintf(buf, sizeof(buf), "iters=%d total_mass=%.17g",
+                    res.iterations, res.total_mass);
+    } else if (name == "bfs") {
+      auto res = algo::BfsForest(g);
+      std::snprintf(buf, sizeof(buf),
+                    "reached=%u sum_levels=%llu", res.num_reached,
+                    static_cast<unsigned long long>(res.sum_levels));
+    } else if (name == "sp") {
+      auto res = algo::Sp(g, src);
+      std::snprintf(buf, sizeof(buf),
+                    "source=%u reached=%u ecc=%u rounds=%u", src,
+                    res.num_reached, res.max_dist, res.num_rounds);
+    } else if (name == "wcc") {
+      auto res = algo::Wcc(g);
+      std::snprintf(buf, sizeof(buf), "components=%u largest=%u",
+                    res.num_components, res.largest_component);
+    } else if (name == "tc") {
+      std::snprintf(buf, sizeof(buf), "triangles=%llu",
+                    static_cast<unsigned long long>(algo::TriangleCount(g)));
+    } else {
+      std::fprintf(stderr, "error: unknown --algo=%s (pr bfs sp wcc tc)\n",
+                   name.c_str());
+      return 2;
+    }
+    double s = timer.Seconds();
+    if (r == 0 || s < best) best = s;
+    summary = buf;
+  }
+  std::printf("%s: %s\n", name.c_str(), summary.c_str());
+  std::fprintf(stderr, "%s: best of %d runs %.3fs (%d threads)\n",
+               name.c_str(), repeats, best, NumThreads());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   Flags flags(argc, argv);
   if (flags.Has("threads")) {
@@ -147,8 +219,10 @@ int Run(int argc, char** argv) {
   if (cmd == "score") return CmdScore(flags);
   if (cmd == "gen") return CmdGen(flags);
   if (cmd == "convert") return CmdConvert(flags);
+  if (cmd == "algo") return CmdAlgo(flags);
   std::fprintf(stderr,
-               "usage: gorder_cli --cmd=order|stats|score|gen|convert ...\n"
+               "usage: gorder_cli --cmd=order|stats|score|gen|convert|algo"
+               " ...\n"
                "see the header of tools/gorder_cli.cpp for details\n");
   return 2;
 }

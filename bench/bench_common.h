@@ -1,12 +1,15 @@
 #ifndef GORDER_BENCH_BENCH_COMMON_H_
 #define GORDER_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/gorder_lib.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -24,6 +27,9 @@ namespace gorder::bench {
 ///                    the GORDER_THREADS/hardware default. For a full
 ///                    per-thread-count speedup sweep see
 ///                    bench/micro_parallel_algo.
+///   --quiet          suppress progress narration on stderr
+///   --json-out=<f>   write a machine-readable run report at exit
+///   --trace-out=<f>  write a Chrome trace (Perfetto-loadable) at exit
 struct BenchOptions {
   double scale = 1.0;
   std::vector<std::string> datasets;
@@ -31,6 +37,9 @@ struct BenchOptions {
   bool csv = false;
   std::uint64_t seed = 42;
   int threads = 0;
+  bool quiet = false;
+  std::string json_out;
+  std::string trace_out;
 
   static BenchOptions Parse(int argc, char** argv, double default_scale) {
     Flags flags(argc, argv);
@@ -41,12 +50,18 @@ struct BenchOptions {
     opt.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
     opt.threads = static_cast<int>(flags.GetInt("threads", 0));
     if (opt.threads > 0) SetNumThreads(opt.threads);
+    opt.quiet = flags.GetBool("quiet", false);
+    if (opt.quiet) SetLogLevel(LogLevel::kQuiet);
+    opt.json_out = flags.GetString("json-out", "");
+    opt.trace_out = flags.GetString("trace-out", "");
     std::string names = flags.GetString("datasets", "");
     if (names.empty()) {
       for (const auto& spec : gen::AllDatasets()) {
         opt.datasets.push_back(spec.name);
       }
     } else {
+      // Strict subset selection: every name must match the registry
+      // exactly, otherwise a typo silently benches the wrong thing.
       std::size_t pos = 0;
       while (pos != std::string::npos) {
         std::size_t comma = names.find(',', pos);
@@ -54,8 +69,37 @@ struct BenchOptions {
             pos, comma == std::string::npos ? comma : comma - pos));
         pos = comma == std::string::npos ? comma : comma + 1;
       }
+      std::vector<std::string> valid;
+      for (const auto& spec : gen::AllDatasets()) valid.push_back(spec.name);
+      for (const auto& name : opt.datasets) {
+        if (std::find(valid.begin(), valid.end(), name) != valid.end()) {
+          continue;
+        }
+        std::string all;
+        for (const auto& v : valid) {
+          if (!all.empty()) all += ", ";
+          all += v;
+        }
+        std::fprintf(stderr,
+                     "error: unknown dataset '%s' in --datasets\n"
+                     "valid names: %s\n",
+                     name.c_str(), all.c_str());
+        std::exit(2);
+      }
     }
+    obs::RunOptions run;
+    run.bench = BinaryName(argv[0]);
+    run.flags = flags.Raw();
+    run.json_out = opt.json_out;
+    run.trace_out = opt.trace_out;
+    obs::StartRun(run);
     return opt;
+  }
+
+  static std::string BinaryName(const char* argv0) {
+    std::string name = argv0 != nullptr ? argv0 : "bench";
+    std::size_t slash = name.find_last_of('/');
+    return slash == std::string::npos ? name : name.substr(slash + 1);
   }
 };
 
@@ -140,6 +184,7 @@ inline SpeedupGrid RunSpeedupGrid(const BenchOptions& opt, int pr_iterations,
                                   : order::AllMethods();
   grid.workloads = harness::AllWorkloads();
   for (const auto& name : opt.datasets) {
+    GORDER_OBS_SPAN(dataset_span, "dataset:" + name);
     Graph g = gen::MakeDataset(name, opt.scale, opt.seed);
     auto config = harness::MakeDefaultConfig(g, diam_sources, opt.seed);
     config.pagerank_iterations = pr_iterations;
@@ -147,6 +192,8 @@ inline SpeedupGrid RunSpeedupGrid(const BenchOptions& opt, int pr_iterations,
         grid.workloads.size(), std::vector<double>(grid.methods.size(), 0));
     std::vector<double> dataset_order_seconds(grid.methods.size(), 0);
     for (std::size_t mi = 0; mi < grid.methods.size(); ++mi) {
+      GORDER_OBS_SPAN(method_span,
+                      "ordering:" + order::MethodName(grid.methods[mi]));
       order::OrderingParams params;
       params.seed = opt.seed;
       auto timed = ComputeOrderingTimed(g, grid.methods[mi], params);
@@ -161,9 +208,9 @@ inline SpeedupGrid RunSpeedupGrid(const BenchOptions& opt, int pr_iterations,
                                                config, timed.perm, geometry);
       }
       if (progress) {
-        std::fprintf(stderr, "  %s/%s done (order %.2fs)\n", name.c_str(),
-                     order::MethodName(grid.methods[mi]).c_str(),
-                     timed.seconds);
+        GORDER_LOG_INFO("  %s/%s done (order %.2fs)\n", name.c_str(),
+                        order::MethodName(grid.methods[mi]).c_str(),
+                        timed.seconds);
       }
     }
     grid.times.push_back(std::move(dataset_times));

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   Graph g = gen::MakeDataset(dataset, opt.scale, opt.seed);
   bench::PrintHeader("Extension: hardware counters (PageRank)", g, dataset);
   TablePrinter table({"Ordering", "cycles", "IPC", "L1-mr", "LLC-mr",
-                      "wall(s)"});
+                      "wall(s)", "mux"});
   for (order::Method m : {order::Method::kOriginal, order::Method::kRandom,
                           order::Method::kRcm, order::Method::kGorder}) {
     order::OrderingParams params;
@@ -43,15 +43,21 @@ int main(int argc, char** argv) {
     (void)sink;
     if (!started || !stats.valid) {
       table.AddRow({order::MethodName(m), "n/a", "n/a", "n/a", "n/a",
-                    TablePrinter::Num(wall, 3)});
+                    TablePrinter::Num(wall, 3), "n/a"});
       continue;
     }
+    // "mux" flags runs where the kernel time-sliced the event group:
+    // counts are then scaled estimates, not exact (HwStats::Clean()).
+    std::string mux =
+        stats.multiplexed
+            ? TablePrinter::Num(100 * stats.MinRunningFraction(), 0) + "%"
+            : "clean";
     table.AddRow({order::MethodName(m),
                   TablePrinter::Count(static_cast<double>(stats.cycles)),
                   TablePrinter::Num(stats.Ipc(), 2),
                   TablePrinter::Num(100 * stats.L1MissRate(), 1) + "%",
                   TablePrinter::Num(100 * stats.LlcMissRate(), 1) + "%",
-                  TablePrinter::Num(wall, 3)});
+                  TablePrinter::Num(wall, 3), mux});
   }
   if (opt.csv) {
     table.PrintCsv();

@@ -8,7 +8,8 @@
 // first-class metric, not plumbing. This binary reports it directly.
 //
 //   micro_build [--edges=2000000] [--repeats=3] [--threads=1,2,4]
-//               [--seed=42] [--csv]
+//               [--seed=42] [--csv] [--quiet] [--json-out=<f>]
+//               [--trace-out=<f>]
 //
 // Speedups are reported relative to the first entry of --threads (use
 // "--threads=1,N" to compare serial vs N-way parallel).
@@ -48,13 +49,20 @@ int Run(int argc, char** argv) {
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   const bool csv = flags.GetBool("csv", false);
+  if (flags.GetBool("quiet", false)) SetLogLevel(LogLevel::kQuiet);
+  obs::RunOptions run;
+  run.bench = "micro_build";
+  run.flags = flags.Raw();
+  run.json_out = flags.GetString("json-out", "");
+  run.trace_out = flags.GetString("trace-out", "");
+  obs::StartRun(run);
   // Strict parse: `--threads=4x` is a hard error, not a silent 4.
   std::vector<int> thread_counts = flags.GetIntList("threads", {1, 2, 4});
 
   Rng rng(seed);
   const NodeId n = static_cast<NodeId>(num_edges / 8);
-  std::fprintf(stderr, "generating G(n=%u, m=%llu)...\n", n,
-               static_cast<unsigned long long>(num_edges));
+  GORDER_LOG_INFO("generating G(n=%u, m=%llu)...\n", n,
+                  static_cast<unsigned long long>(num_edges));
   Graph base = gen::ErdosRenyi(n, num_edges, rng);
   std::vector<Edge> edges = base.ToEdges();
   std::vector<NodeId> perm = IdentityPermutation(n);

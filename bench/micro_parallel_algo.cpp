@@ -5,7 +5,8 @@
 // would be reporting a meaningless speedup, so it aborts instead.
 //
 //   micro_parallel_algo [--edges=1000000] [--repeats=3] [--threads=1,2,4]
-//                       [--pr-iters=100] [--seed=42] [--csv]
+//                       [--pr-iters=100] [--seed=42] [--csv] [--quiet]
+//                       [--json-out=<f>] [--trace-out=<f>]
 //
 // Speedups are relative to the first entry of --threads (use
 // "--threads=1,N" for the classic serial-vs-N comparison). The headline
@@ -63,6 +64,13 @@ int Run(int argc, char** argv) {
   const int pr_iters = static_cast<int>(flags.GetInt("pr-iters", 100));
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   const bool csv = flags.GetBool("csv", false);
+  if (flags.GetBool("quiet", false)) SetLogLevel(LogLevel::kQuiet);
+  obs::RunOptions run;
+  run.bench = "micro_parallel_algo";
+  run.flags = flags.Raw();
+  run.json_out = flags.GetString("json-out", "");
+  run.trace_out = flags.GetString("trace-out", "");
+  obs::StartRun(run);
   std::vector<int> thread_counts = flags.GetIntList("threads", {1, 2, 4});
   if (thread_counts.empty()) {
     std::fprintf(stderr, "--threads must name at least one thread count\n");
@@ -75,9 +83,8 @@ int Run(int argc, char** argv) {
   params.scale = 1;
   while ((NodeId{1} << params.scale) < num_edges / 8) ++params.scale;
   Rng rng(seed);
-  std::fprintf(stderr, "generating R-MAT(scale=%d, m=%llu)...\n",
-               params.scale,
-               static_cast<unsigned long long>(params.num_edges));
+  GORDER_LOG_INFO("generating R-MAT(scale=%d, m=%llu)...\n", params.scale,
+                  static_cast<unsigned long long>(params.num_edges));
   Graph g = gen::Rmat(params, rng);
   NodeId src = 0;
   for (NodeId v = 1; v < g.NumNodes(); ++v) {

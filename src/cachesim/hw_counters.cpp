@@ -11,6 +11,19 @@
 
 namespace gorder::cachesim {
 
+namespace {
+
+constexpr const char* kHwEventNames[kNumHwEvents] = {
+    "cycles",    "instructions", "l1d_loads",
+    "l1d_misses", "llc_loads",    "llc_misses"};
+
+}  // namespace
+
+const char* HwEventName(int event) {
+  return event >= 0 && event < kNumHwEvents ? kHwEventNames[event]
+                                            : "unknown";
+}
+
 #ifdef __linux__
 
 namespace {
@@ -24,6 +37,11 @@ int PerfEventOpen(std::uint32_t type, std::uint64_t config, int group_fd) {
   attr.disabled = group_fd == -1 ? 1 : 0;
   attr.exclude_kernel = 1;
   attr.exclude_hv = 1;
+  // Scheduling times alongside the count: if the kernel multiplexed the
+  // event (time_running < time_enabled) the raw value undercounts, and
+  // the report must flag it rather than quote it as clean.
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
   return static_cast<int>(syscall(SYS_perf_event_open, &attr, 0, -1,
                                   group_fd, 0));
 }
@@ -94,11 +112,20 @@ HwStats HwCounters::Stop() {
   HwStats stats;
   if (!running_) return stats;
   ioctl(fds_[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  // With PERF_FORMAT_TOTAL_TIME_{ENABLED,RUNNING} each read returns
+  // { value, time_enabled, time_running }.
   std::uint64_t values[kNumEvents] = {};
   bool ok = true;
   for (int i = 0; i < kNumEvents; ++i) {
-    ok = ok && read(fds_[i], &values[i], sizeof values[i]) ==
-                   static_cast<ssize_t>(sizeof values[i]);
+    std::uint64_t buf[3] = {};
+    bool read_ok =
+        read(fds_[i], buf, sizeof buf) == static_cast<ssize_t>(sizeof buf);
+    ok = ok && read_ok;
+    values[i] = buf[0];
+    stats.opened[i] = read_ok;
+    stats.time_enabled[i] = buf[1];
+    stats.time_running[i] = buf[2];
+    if (read_ok && buf[2] < buf[1]) stats.multiplexed = true;
     close(fds_[i]);
     fds_[i] = -1;
   }

@@ -21,6 +21,7 @@
 ///   algo/      the nine benchmark workloads (+ cache-traced variants)
 ///   cachesim/  the software cache hierarchy used for miss-rate studies
 ///   harness/   experiment grids, timing, rank aggregation
+///   obs/       telemetry: sharded metrics, phase spans, run reports
 
 #include "algo/algorithms.h"
 #include "algo/extra.h"
@@ -40,6 +41,10 @@
 #include "graph/subgraph.h"
 #include "harness/experiment.h"
 #include "harness/ranking.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "order/annealing.h"
 #include "order/exact.h"
 #include "order/degree_grouping.h"

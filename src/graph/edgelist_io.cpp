@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace gorder {
@@ -100,6 +101,7 @@ std::size_t LineNumberAt(const std::vector<char>& data, std::size_t offset) {
 }  // namespace
 
 IoResult ReadEdgeList(const std::string& path, Graph* graph) {
+  GORDER_OBS_SPAN(span, "io.read_edgelist");
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return IoResult::Error("cannot open " + path);
   if (std::fseek(f.get(), 0, SEEK_END) != 0) {
@@ -193,6 +195,7 @@ inline std::size_t AppendU32(char* buf, std::size_t pos, std::uint32_t v) {
 }  // namespace
 
 IoResult WriteEdgeList(const std::string& path, const Graph& graph) {
+  GORDER_OBS_SPAN(span, "io.write_edgelist");
   FilePtr f(std::fopen(path.c_str(), "w"));
   if (!f) return IoResult::Error("cannot open " + path + " for writing");
   std::fprintf(f.get(), "# Directed graph: %u nodes, %" PRIu64 " edges\n",

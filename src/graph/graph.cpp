@@ -3,10 +3,22 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
 namespace gorder {
+
+namespace {
+
+// CSR phase telemetry: edges processed by construction vs relabel. Both
+// count the directed edge instances written per side (out + in), so one
+// FromEdges on m clean edges adds 2m to `csr.build_edges`.
+GORDER_OBS_COUNTER(c_build_edges, "csr.build_edges");
+GORDER_OBS_COUNTER(c_relabel_edges, "csr.relabel_edges");
+
+}  // namespace
 
 void Graph::Builder::AddEdge(NodeId src, NodeId dst) {
   edges_.push_back({src, dst});
@@ -156,6 +168,7 @@ void RelabelCsr(NodeId num_nodes, const std::vector<EdgeId>& old_offsets,
 
 Graph Graph::FromEdges(NodeId num_nodes, std::vector<Edge> edges,
                        bool keep_self_loops, bool keep_duplicates) {
+  GORDER_OBS_SPAN(span, "graph.from_edges");
   ParallelFor(0, edges.size(), kEdgeGrain, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
       GORDER_CHECK(edges[i].src < num_nodes && edges[i].dst < num_nodes);
@@ -174,6 +187,7 @@ Graph Graph::FromEdges(NodeId num_nodes, std::vector<Edge> edges,
         BuildCsr(num_nodes, edges, /*reverse=*/true, keep_self_loops,
                  keep_duplicates, g.in_offsets_, g.in_neigh_);
       });
+  GORDER_OBS_ADD(c_build_edges, g.out_neigh_.size() + g.in_neigh_.size());
   return g;
 }
 
@@ -194,6 +208,7 @@ bool Graph::HasEdge(NodeId src, NodeId dst) const {
 }
 
 Graph Graph::Relabel(const std::vector<NodeId>& perm) const {
+  GORDER_OBS_SPAN(span, "graph.relabel");
   CheckPermutation(perm, num_nodes_);
   Graph g;
   g.num_nodes_ = num_nodes_;
@@ -208,6 +223,7 @@ Graph Graph::Relabel(const std::vector<NodeId>& perm) const {
         RelabelCsr(num_nodes_, in_offsets_, in_neigh_, perm, g.in_offsets_,
                    g.in_neigh_);
       });
+  GORDER_OBS_ADD(c_relabel_edges, g.out_neigh_.size() + g.in_neigh_.size());
   return g;
 }
 

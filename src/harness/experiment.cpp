@@ -4,6 +4,8 @@
 
 #include "algo/algorithms.h"
 #include "algo/traced.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -29,6 +31,13 @@ std::vector<NodeId> MapSources(const std::vector<NodeId>& logical,
   for (NodeId s : logical) mapped.push_back(perm[s]);
   return mapped;
 }
+
+// Per-workload touch counts: every cache-traced run adds its simulated
+// L1 reference count, i.e. the number of graph memory touches the
+// workload performed (identical across orderings of the same graph).
+GORDER_OBS_COUNTER(c_traced_refs, "workload.traced_refs");
+GORDER_OBS_COUNTER(c_runs, "workload.runs");
+GORDER_OBS_COUNTER(c_traced_runs, "workload.traced_runs");
 
 }  // namespace
 
@@ -73,6 +82,8 @@ WorkloadConfig MakeDefaultConfig(const Graph& original_graph,
 std::uint64_t RunWorkload(const Graph& graph, Workload workload,
                           const WorkloadConfig& config,
                           const std::vector<NodeId>& perm) {
+  GORDER_OBS_SPAN(span, "workload:" + WorkloadName(workload));
+  GORDER_OBS_INC(c_runs);
   switch (workload) {
     case Workload::kNq:
       return algo::Nq(graph).checksum;
@@ -114,6 +125,16 @@ std::uint64_t RunWorkloadTraced(const Graph& graph, Workload workload,
                                 const WorkloadConfig& config,
                                 const std::vector<NodeId>& perm,
                                 cachesim::CacheHierarchy& caches) {
+  GORDER_OBS_SPAN(span, "workload:" + WorkloadName(workload) + ":traced");
+  GORDER_OBS_INC(c_traced_runs);
+  const std::uint64_t refs_before = caches.stats().l1_refs;
+  struct RefDelta {
+    cachesim::CacheHierarchy& caches;
+    std::uint64_t before;
+    ~RefDelta() {
+      GORDER_OBS_ADD(c_traced_refs, caches.stats().l1_refs - before);
+    }
+  } ref_delta{caches, refs_before};
   switch (workload) {
     case Workload::kNq:
       return algo::NqTraced(graph, caches).checksum;

@@ -1,0 +1,127 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gorder::obs {
+
+void JsonWriter::MaybeComma() {
+  if (need_comma_) out_.push_back(',');
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_.push_back('{');
+  need_comma_ = false;
+}
+
+void JsonWriter::EndObject() {
+  out_.push_back('}');
+  need_comma_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_.push_back('[');
+  need_comma_ = false;
+}
+
+void JsonWriter::EndArray() {
+  out_.push_back(']');
+  need_comma_ = true;
+}
+
+void JsonWriter::Key(std::string_view name) {
+  MaybeComma();
+  out_.push_back('"');
+  AppendEscaped(out_, name);
+  out_ += "\":";
+  need_comma_ = false;
+}
+
+void JsonWriter::String(std::string_view value) {
+  MaybeComma();
+  out_.push_back('"');
+  AppendEscaped(out_, value);
+  out_.push_back('"');
+  need_comma_ = true;
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  MaybeComma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  out_ += buf;
+  need_comma_ = true;
+}
+
+void JsonWriter::Uint(std::uint64_t value) {
+  MaybeComma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(value));
+  out_ += buf;
+  need_comma_ = true;
+}
+
+void JsonWriter::Double(double value) {
+  if (!std::isfinite(value)) {
+    Null();
+    return;
+  }
+  MaybeComma();
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out_ += buf;
+  need_comma_ = true;
+}
+
+void JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+  need_comma_ = true;
+}
+
+void JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+  need_comma_ = true;
+}
+
+void JsonWriter::AppendEscaped(std::string& out, std::string_view s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+}
+
+}  // namespace gorder::obs

@@ -1,0 +1,85 @@
+#ifndef GORDER_OBS_JSON_H_
+#define GORDER_OBS_JSON_H_
+
+/// Minimal streaming JSON writer — the repo's only JSON dependency.
+/// Produces compact, strictly valid output: strings are escaped per RFC
+/// 8259 (quote, backslash, control characters as \u00XX) and non-finite
+/// doubles are emitted as null (JSON has no NaN/Inf).
+///
+/// Usage is push-style and state-checked only by convention: callers
+/// alternate Key()/value inside objects and bare values inside arrays.
+/// Commas are inserted automatically.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gorder::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits the member name; the next value call supplies its value.
+  void Key(std::string_view name);
+
+  void String(std::string_view value);
+  void Int(std::int64_t value);
+  void Uint(std::uint64_t value);
+  /// Non-finite values become null.
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Key/value shorthands.
+  void KV(std::string_view key, std::string_view value) {
+    Key(key);
+    String(value);
+  }
+  void KV(std::string_view key, const char* value) {
+    Key(key);
+    String(value);
+  }
+  void KV(std::string_view key, std::int64_t value) {
+    Key(key);
+    Int(value);
+  }
+  void KV(std::string_view key, std::uint64_t value) {
+    Key(key);
+    Uint(value);
+  }
+  void KV(std::string_view key, int value) {
+    Key(key);
+    Int(value);
+  }
+  void KV(std::string_view key, double value) {
+    Key(key);
+    Double(value);
+  }
+  void KV(std::string_view key, bool value) {
+    Key(key);
+    Bool(value);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  /// Appends `s` escaped (without surrounding quotes) to `out` — exposed
+  /// so tests can probe the escaper directly.
+  static void AppendEscaped(std::string& out, std::string_view s);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace gorder::obs
+
+#endif  // GORDER_OBS_JSON_H_

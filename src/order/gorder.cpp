@@ -1,9 +1,22 @@
 #include "order/gorder.h"
 
+#include "obs/metrics.h"
 #include "order/unit_heap.h"
 #include "util/logging.h"
 
 namespace gorder::order {
+
+namespace {
+
+// Inner-loop telemetry: `gorder.score_updates` counts every key bump
+// applied (or deferred) by a window entry/exit, `gorder.lazy_refiles`
+// counts pops re-filed to settle lazy-decrement debt, `gorder.places`
+// counts nodes committed to the permutation.
+GORDER_OBS_COUNTER(c_score_updates, "gorder.score_updates");
+GORDER_OBS_COUNTER(c_lazy_refiles, "gorder.lazy_refiles");
+GORDER_OBS_COUNTER(c_places, "gorder.places");
+
+}  // namespace
 
 std::vector<NodeId> GorderOrder(const Graph& graph,
                                 const OrderingParams& params) {
@@ -34,6 +47,7 @@ std::vector<NodeId> GorderOrder(const Graph& graph,
   auto apply = [&](NodeId ve, bool entering) {
     auto bump = [&](NodeId c) {
       if (!heap.Contains(c)) return;
+      GORDER_OBS_INC(c_score_updates);
       if (entering) {
         heap.Increment(c);
       } else if (params.gorder_lazy_decrements) {
@@ -70,6 +84,7 @@ std::vector<NodeId> GorderOrder(const Graph& graph,
 
   NodeId next_rank = 0;
   auto place = [&](NodeId v) {
+    GORDER_OBS_INC(c_places);
     perm[v] = next_rank++;
     apply(v, /*entering=*/true);
     if (window_size == w) {
@@ -91,6 +106,7 @@ std::vector<NodeId> GorderOrder(const Graph& graph,
     if (params.gorder_lazy_decrements && pending[v] > 0) {
       // Stale key: settle the debt and re-file; the loop will pop the
       // true maximum next (possibly v again, now with an exact key).
+      GORDER_OBS_INC(c_lazy_refiles);
       std::int32_t true_key = heap.KeyOf(v) - pending[v];
       GORDER_DCHECK(true_key >= 0);
       pending[v] = 0;

@@ -6,6 +6,7 @@
 #include "order/degree_grouping.h"
 #include "order/gorder.h"
 #include "order/metis_like.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace gorder::order {
@@ -87,6 +88,7 @@ const std::vector<Method>& AllMethodsExtended() {
 
 std::vector<NodeId> ComputeOrdering(const Graph& graph, Method method,
                                     const OrderingParams& params) {
+  GORDER_OBS_SPAN(span, "order:" + MethodName(method));
   switch (method) {
     case Method::kOriginal:
       return OriginalOrder(graph);

@@ -3,10 +3,18 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "order/ordering.h"
 #include "util/logging.h"
 
 namespace gorder::order {
+
+namespace {
+
+GORDER_OBS_COUNTER(c_components, "rcm.components");
+GORDER_OBS_COUNTER(c_nodes_placed, "rcm.nodes_placed");
+
+}  // namespace
 
 std::vector<NodeId> RcmOrder(const Graph& graph) {
   const NodeId n = graph.NumNodes();
@@ -30,6 +38,7 @@ std::vector<NodeId> RcmOrder(const Graph& graph) {
   while (cm_order.size() < n) {
     while (visited[by_degree[seed_scan]]) ++seed_scan;
     NodeId seed = by_degree[seed_scan];
+    GORDER_OBS_INC(c_components);
     visited[seed] = true;
     cm_order.push_back(seed);
     // BFS over the undirected view; each node's unvisited neighbours are
@@ -54,6 +63,8 @@ std::vector<NodeId> RcmOrder(const Graph& graph) {
       for (NodeId v : nbrs) cm_order.push_back(v);
     }
   }
+
+  GORDER_OBS_ADD(c_nodes_placed, cm_order.size());
 
   // Reverse the Cuthill-McKee order.
   std::vector<NodeId> perm(n);

@@ -1,8 +1,22 @@
 #include "order/unit_heap.h"
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace gorder::order {
+
+namespace {
+
+// Gorder's inner-loop operation counts (DESIGN.md "Observability"): one
+// uncontended sharded add per op when observability is on, a predicted
+// branch when GORDER_OBS=off, nothing at all when compiled out.
+GORDER_OBS_COUNTER(c_increments, "unit_heap.increments");
+GORDER_OBS_COUNTER(c_decrements, "unit_heap.decrements");
+GORDER_OBS_COUNTER(c_extracts, "unit_heap.extracts");
+GORDER_OBS_COUNTER(c_inserts, "unit_heap.inserts");
+GORDER_OBS_COUNTER(c_removes, "unit_heap.removes");
+
+}  // namespace
 
 UnitHeap::UnitHeap(NodeId n)
     : key_(n, 0),
@@ -43,6 +57,7 @@ void UnitHeap::PushFront(NodeId v, std::int32_t key) {
 
 void UnitHeap::Increment(NodeId v) {
   GORDER_DCHECK(in_heap_[v]);
+  GORDER_OBS_INC(c_increments);
   std::int32_t k = key_[v];
   Unlink(v);
   PushFront(v, k + 1);
@@ -50,6 +65,7 @@ void UnitHeap::Increment(NodeId v) {
 
 void UnitHeap::Decrement(NodeId v) {
   GORDER_DCHECK(in_heap_[v]);
+  GORDER_OBS_INC(c_decrements);
   std::int32_t k = key_[v];
   GORDER_DCHECK(k > 0);
   Unlink(v);
@@ -58,6 +74,7 @@ void UnitHeap::Decrement(NodeId v) {
 
 NodeId UnitHeap::ExtractMax() {
   if (size_ == 0) return kInvalidNode;
+  GORDER_OBS_INC(c_extracts);
   while (bucket_head_[max_key_] == kInvalidNode) {
     GORDER_DCHECK(max_key_ > 0);
     --max_key_;
@@ -71,6 +88,7 @@ NodeId UnitHeap::ExtractMax() {
 
 void UnitHeap::Insert(NodeId v, std::int32_t key) {
   GORDER_DCHECK(!in_heap_[v]);
+  GORDER_OBS_INC(c_inserts);
   GORDER_DCHECK(key >= 0);
   in_heap_[v] = true;
   ++size_;
@@ -79,6 +97,7 @@ void UnitHeap::Insert(NodeId v, std::int32_t key) {
 
 void UnitHeap::Remove(NodeId v) {
   GORDER_DCHECK(in_heap_[v]);
+  GORDER_OBS_INC(c_removes);
   Unlink(v);
   in_heap_[v] = false;
   --size_;

@@ -31,6 +31,10 @@ class Flags {
   std::vector<int> GetIntList(const std::string& key,
                               const std::vector<int>& def) const;
 
+  /// All parsed `--key=value` pairs verbatim (bare `--flag` maps to "").
+  /// Run reports embed this so a result file is self-describing.
+  const std::map<std::string, std::string>& Raw() const { return values_; }
+
  private:
   std::map<std::string, std::string> values_;
 };

@@ -1,8 +1,11 @@
 #ifndef GORDER_UTIL_LOGGING_H_
 #define GORDER_UTIL_LOGGING_H_
 
+#include <atomic>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace gorder::internal_logging {
 
@@ -13,6 +16,80 @@ namespace gorder::internal_logging {
 }
 
 }  // namespace gorder::internal_logging
+
+namespace gorder {
+
+/// Levelled progress logging for the bench/CLI narration that used to be
+/// ad-hoc fprintf(stderr, ...). All narration goes to stderr so it never
+/// interleaves with table/CSV data on stdout. Level comes from the
+/// GORDER_LOG environment variable (quiet|info|debug, default info) and
+/// can be overridden programmatically (`--quiet` maps to kQuiet).
+enum class LogLevel : int { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+namespace internal_logging {
+
+inline std::atomic<int>& LogLevelVar() {
+  static std::atomic<int> level{-1};  // -1 = not yet resolved from env
+  return level;
+}
+
+inline int ResolveLogLevelFromEnv() {
+  const char* env = std::getenv("GORDER_LOG");
+  if (env == nullptr) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(env, "quiet") == 0 || std::strcmp(env, "off") == 0) {
+    return static_cast<int>(LogLevel::kQuiet);
+  }
+  if (std::strcmp(env, "debug") == 0) {
+    return static_cast<int>(LogLevel::kDebug);
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+__attribute__((format(printf, 1, 2))) inline void LogRaw(const char* fmt,
+                                                         ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+}
+
+}  // namespace internal_logging
+
+inline LogLevel CurrentLogLevel() {
+  int level = internal_logging::LogLevelVar().load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = internal_logging::ResolveLogLevelFromEnv();
+    internal_logging::LogLevelVar().store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+inline void SetLogLevel(LogLevel level) {
+  internal_logging::LogLevelVar().store(static_cast<int>(level),
+                                        std::memory_order_relaxed);
+}
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(CurrentLogLevel()) >= static_cast<int>(level);
+}
+
+}  // namespace gorder
+
+/// Progress narration (stderr). INFO is on by default; DEBUG needs
+/// GORDER_LOG=debug. Both are silenced by --quiet / GORDER_LOG=quiet.
+#define GORDER_LOG_INFO(...)                                      \
+  do {                                                            \
+    if (::gorder::LogEnabled(::gorder::LogLevel::kInfo)) {        \
+      ::gorder::internal_logging::LogRaw(__VA_ARGS__);            \
+    }                                                             \
+  } while (0)
+
+#define GORDER_LOG_DEBUG(...)                                     \
+  do {                                                            \
+    if (::gorder::LogEnabled(::gorder::LogLevel::kDebug)) {       \
+      ::gorder::internal_logging::LogRaw(__VA_ARGS__);            \
+    }                                                             \
+  } while (0)
 
 /// Always-on invariant check. Used for programmer errors that must never
 /// happen in a correct program (corrupt CSR, invalid permutation, ...).

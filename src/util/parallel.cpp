@@ -9,9 +9,29 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace gorder {
 
 namespace {
+
+// Pool telemetry (DESIGN.md "Observability"). `pool.chunks` is sharded
+// per thread, so worker imbalance shows up as skew across shards;
+// `pool.chunks_per_call` is the fan-out distribution;
+// `pool.worker_parks` counts a worker going idle (one park per wait on
+// the job condition variable), `pool.worker_joins` a worker picking up a
+// job. Metrics never feed back into scheduling: claiming stays a single
+// atomic fetch_add and results are bit-identical with telemetry on, off,
+// or compiled out.
+GORDER_OBS_COUNTER(c_parallel_calls, "pool.parallel_calls");
+GORDER_OBS_COUNTER(c_serial_calls, "pool.serial_calls");
+GORDER_OBS_COUNTER(c_chunks, "pool.chunks");
+GORDER_OBS_COUNTER(c_invoke_calls, "pool.invoke_calls");
+GORDER_OBS_COUNTER(c_invoke_tasks, "pool.invoke_tasks");
+GORDER_OBS_COUNTER(c_worker_parks, "pool.worker_parks");
+GORDER_OBS_COUNTER(c_worker_joins, "pool.worker_joins");
+GORDER_OBS_GAUGE(g_pool_threads, "pool.threads");
+GORDER_OBS_HISTOGRAM(h_chunks_per_call, "pool.chunks_per_call");
 
 int DefaultNumThreads() {
   if (const char* env = std::getenv("GORDER_THREADS")) {
@@ -84,10 +104,12 @@ class Pool {
   void WorkerLoop() {
     std::unique_lock<std::mutex> lock(mu_);
     while (true) {
+      GORDER_OBS_INC(c_worker_parks);
       cv_work_.wait(lock, [&] { return FindOpenJob() != nullptr; });
       std::shared_ptr<Job> job = FindOpenJob();
       --job->open_slots;
       ++job->running;
+      GORDER_OBS_INC(c_worker_joins);
       lock.unlock();
       (*job->body)();
       lock.lock();
@@ -110,13 +132,15 @@ int NumThreads() {
   if (n == 0) {
     n = DefaultNumThreads();
     g_num_threads.store(n, std::memory_order_relaxed);
+    GORDER_OBS_SET(g_pool_threads, n);
   }
   return n;
 }
 
 void SetNumThreads(int n) {
-  g_num_threads.store(n >= 1 ? n : DefaultNumThreads(),
-                      std::memory_order_relaxed);
+  int resolved = n >= 1 ? n : DefaultNumThreads();
+  g_num_threads.store(resolved, std::memory_order_relaxed);
+  GORDER_OBS_SET(g_pool_threads, resolved);
 }
 
 void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
@@ -131,14 +155,18 @@ void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
   threads = static_cast<int>(
       std::min<std::size_t>(static_cast<std::size_t>(threads), num_chunks));
   if (threads <= 1) {
+    GORDER_OBS_INC(c_serial_calls);
     body(begin, end);
     return;
   }
+  GORDER_OBS_INC(c_parallel_calls);
+  GORDER_OBS_OBSERVE(h_chunks_per_call, num_chunks);
   std::atomic<std::size_t> next{0};
   Pool::Get().Run(threads, [&] {
     while (true) {
       std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) return;
+      GORDER_OBS_INC(c_chunks);
       std::size_t chunk_begin = begin + c * grain;
       std::size_t chunk_end = std::min(end, chunk_begin + grain);
       body(chunk_begin, chunk_end);
@@ -150,6 +178,8 @@ namespace internal {
 
 void ParallelInvokeImpl(std::function<void()>* fns, int count) {
   if (count <= 0) return;
+  GORDER_OBS_INC(c_invoke_calls);
+  GORDER_OBS_ADD(c_invoke_tasks, static_cast<std::uint64_t>(count));
   int threads = std::min(NumThreads(), count);
   if (threads <= 1) {
     for (int i = 0; i < count; ++i) fns[i]();

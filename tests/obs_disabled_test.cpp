@@ -1,0 +1,31 @@
+// Compiled with GORDER_OBS_DISABLED (see tests/CMakeLists.txt) while the
+// rest of the obs_test binary is not: proves the instrumentation macros
+// expand to nothing — no registration, no code — in an opted-out TU that
+// still links against the fully-enabled library.
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#ifndef GORDER_OBS_DISABLED
+#error "this TU must be compiled with GORDER_OBS_DISABLED"
+#endif
+
+namespace gorder::obs_disabled_probe {
+
+namespace {
+GORDER_OBS_COUNTER(c_probe, "obs_disabled_test.counter");
+GORDER_OBS_GAUGE(g_probe, "obs_disabled_test.gauge");
+GORDER_OBS_HISTOGRAM(h_probe, "obs_disabled_test.hist");
+}  // namespace
+
+void RunDisabledProbe() {
+  GORDER_OBS_SPAN(span, "obs_disabled_test.span");
+  for (int i = 0; i < 1000; ++i) {
+    GORDER_OBS_INC(c_probe);
+    GORDER_OBS_ADD(c_probe, 2);
+    GORDER_OBS_SET(g_probe, i);
+    GORDER_OBS_OBSERVE(h_probe, static_cast<std::uint64_t>(i));
+  }
+}
+
+}  // namespace gorder::obs_disabled_probe

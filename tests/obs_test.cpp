@@ -1,0 +1,241 @@
+// Tests for the observability subsystem: JSON writer escaping, sharded
+// counter sums under parallel load, span nesting/ordering, run-report
+// rendering, and the GORDER_OBS_DISABLED zero-overhead path (exercised
+// by obs_disabled_test.cpp in the same binary).
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "util/parallel.h"
+
+namespace gorder::obs {
+namespace {
+
+/// Restores capture/enable state and the thread budget when a test exits;
+/// span-dependent tests clear the record store so they see only their own.
+class ObsGuard {
+ public:
+  ObsGuard() {
+    SetEnabledForTest(true);
+    StopCapture();
+    ClearSpans();
+  }
+  ~ObsGuard() {
+    StopCapture();
+    ClearSpans();
+    SetEnabledForTest(true);
+    SetNumThreads(0);
+  }
+};
+
+TEST(JsonWriterTest, EscapesQuotesBackslashesAndControlChars) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("k", std::string("a\"b\\c\n\t\r\b\f\x01z"));
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"k\":\"a\\\"b\\\\c\\n\\t\\r\\b\\f\\u0001z\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(-std::numeric_limits<double>::infinity());
+  w.Double(1.5);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,null,1.5]");
+}
+
+TEST(JsonWriterTest, NestedStructuresGetCommasRight) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(-2);
+  w.EndArray();
+  w.KV("b", true);
+  w.Key("c");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":[1,-2],\"b\":true,\"c\":{}}");
+}
+
+TEST(MetricsTest, CounterSumsAcrossThreads) {
+  ObsGuard guard;
+  Counter& c = GetCounter("obs_test.parallel_adds");
+  for (int threads : {1, 2, 8}) {
+    SetNumThreads(threads);
+    c.Reset();
+    constexpr std::size_t kItems = 10000;
+    ParallelFor(0, kItems, 64, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) c.Add(1);
+    });
+    EXPECT_EQ(c.Value(), kItems) << "threads=" << threads;
+  }
+}
+
+TEST(MetricsTest, DisabledCounterDropsAdds) {
+  ObsGuard guard;
+  Counter& c = GetCounter("obs_test.gated_adds");
+  c.Reset();
+  SetEnabledForTest(false);
+  c.Add(100);
+  EXPECT_EQ(c.Value(), 0u);
+  SetEnabledForTest(true);
+  c.Add(3);
+  EXPECT_EQ(c.Value(), 3u);
+}
+
+TEST(MetricsTest, HistogramBucketsByBitWidth) {
+  ObsGuard guard;
+  Histogram& h = GetHistogram("obs_test.hist");
+  h.Reset();
+  h.Observe(0);   // bucket 0
+  h.Observe(1);   // bucket 1
+  h.Observe(5);   // bucket 3
+  h.Observe(5);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 11u);
+  auto buckets = h.Buckets();
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[3], 2u);
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  ObsGuard guard;
+  Gauge& g = GetGauge("obs_test.gauge");
+  g.Set(7);
+  g.Set(-3);
+  EXPECT_EQ(g.Value(), -3);
+}
+
+TEST(SpanTest, NotRecordedWithoutCapture) {
+  ObsGuard guard;
+  { Span s("obs_test.uncaptured"); }
+  EXPECT_TRUE(SnapshotSpans().empty());
+}
+
+TEST(SpanTest, NestsAndOrders) {
+  ObsGuard guard;
+  StartCapture();
+  {
+    Span outer("outer");
+    { Span inner1("inner1"); }
+    {
+      Span inner2("inner2");
+      { Span leaf("leaf"); }
+    }
+  }
+  auto spans = SnapshotSpans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Records are appended in construction order.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "inner1");
+  EXPECT_EQ(spans[2].name, "inner2");
+  EXPECT_EQ(spans[3].name, "leaf");
+  EXPECT_EQ(spans[0].parent, kNoParent);
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[2].parent, 0);
+  EXPECT_EQ(spans[3].parent, 2);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[3].depth, 2);
+  for (const auto& s : spans) {
+    EXPECT_GE(s.dur_s, 0.0) << s.name << " left open";
+    if (s.parent != kNoParent) {
+      EXPECT_GE(s.start_s, spans[s.parent].start_s);
+    }
+  }
+}
+
+TEST(SpanTest, CapturesCounterDeltas) {
+  ObsGuard guard;
+  Counter& c = GetCounter("obs_test.span_delta");
+  c.Reset();
+  StartCapture();
+  {
+    Span s("delta");
+    c.Add(42);
+  }
+  auto spans = SnapshotSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  bool found = false;
+  for (const auto& [name, delta] : spans[0].counter_deltas) {
+    if (name == "obs_test.span_delta") {
+      EXPECT_EQ(delta, 42u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SpanTest, ChromeTraceRendersEvents) {
+  ObsGuard guard;
+  StartCapture();
+  {
+    Span outer("trace \"outer\"");
+    Span inner("inner");
+  }
+  std::string json = RenderChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("trace \\\"outer\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+}
+
+TEST(ReportTest, RendersSchemaAndEnv) {
+  ObsGuard guard;
+  StartCapture();
+  {
+    Span s("report_phase");
+    GetCounter("obs_test.report_counter").Add(5);
+  }
+  std::string json = RenderRunReportJson();
+  EXPECT_NE(json.find("\"schema\":\"gorder-run-report\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"env\":"), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_model\""), std::string::npos);
+  EXPECT_NE(json.find("\"report_phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.report_counter\""), std::string::npos);
+}
+
+TEST(ReportTest, EnvFingerprintIsPopulated) {
+  EnvFingerprint env = CollectEnvFingerprint();
+  EXPECT_FALSE(env.cpu_model.empty());
+  EXPECT_FALSE(env.compiler.empty());
+  EXPECT_FALSE(env.os.empty());
+  EXPECT_GE(env.threads, 1);
+}
+
+}  // namespace
+}  // namespace gorder::obs
+
+// Defined in obs_disabled_test.cpp (compiled with GORDER_OBS_DISABLED).
+namespace gorder::obs_disabled_probe {
+void RunDisabledProbe();
+}
+
+namespace gorder::obs {
+namespace {
+
+TEST(DisabledBuildTest, MacrosCompileOutCompletely) {
+  obs_disabled_probe::RunDisabledProbe();
+  // The probe used GORDER_OBS_COUNTER/ADD/SPAN under GORDER_OBS_DISABLED;
+  // if those expanded to real registrations the counter would exist here.
+  EXPECT_EQ(FindCounter("obs_disabled_test.counter"), nullptr);
+}
+
+}  // namespace
+}  // namespace gorder::obs

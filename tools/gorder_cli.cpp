@@ -19,6 +19,10 @@
 // pool used by graph build, relabel, edge-list parsing and the untraced
 // algorithm kernels (--cmd=algo); --threads=1 is fully serial and
 // produces identical output at any thread count.
+//
+// Every command also accepts --quiet (silence stderr narration),
+// --json-out=<f> (machine-readable run report, written at exit) and
+// --trace-out=<f> (Chrome trace for Perfetto).
 
 #include <cstdio>
 #include <cstring>
@@ -69,10 +73,10 @@ int CmdOrder(const Flags& flags) {
   timer.Reset();
   Graph h = g.Relabel(perm);
   double relabel_s = timer.Seconds();
-  std::fprintf(stderr,
-               "%s: ordering %.3fs, relabel %.3fs (total %.3fs, %d threads)\n",
-               order::MethodName(method).c_str(), order_s, relabel_s,
-               order_s + relabel_s, NumThreads());
+  GORDER_LOG_INFO(
+      "%s: ordering %.3fs, relabel %.3fs (total %.3fs, %d threads)\n",
+      order::MethodName(method).c_str(), order_s, relabel_s,
+      order_s + relabel_s, NumThreads());
   std::string map_path = flags.GetString("map", "");
   if (!map_path.empty()) {
     std::FILE* f = std::fopen(map_path.c_str(), "w");
@@ -128,8 +132,8 @@ int CmdGen(const Flags& flags) {
   double scale = flags.GetDouble("scale", 0.25);
   auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   Graph g = gen::MakeDataset(name, scale, seed);
-  std::fprintf(stderr, "generated %s: n=%u m=%llu\n", name.c_str(),
-               g.NumNodes(), static_cast<unsigned long long>(g.NumEdges()));
+  GORDER_LOG_INFO("generated %s: n=%u m=%llu\n", name.c_str(),
+                  g.NumNodes(), static_cast<unsigned long long>(g.NumEdges()));
   return StoreGraph(flags.GetString("out", name + ".txt"), g);
 }
 
@@ -203,8 +207,8 @@ int CmdAlgo(const Flags& flags) {
     summary = buf;
   }
   std::printf("%s: %s\n", name.c_str(), summary.c_str());
-  std::fprintf(stderr, "%s: best of %d runs %.3fs (%d threads)\n",
-               name.c_str(), repeats, best, NumThreads());
+  GORDER_LOG_INFO("%s: best of %d runs %.3fs (%d threads)\n", name.c_str(),
+                  repeats, best, NumThreads());
   return 0;
 }
 
@@ -213,6 +217,13 @@ int Run(int argc, char** argv) {
   if (flags.Has("threads")) {
     SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
   }
+  if (flags.GetBool("quiet", false)) SetLogLevel(LogLevel::kQuiet);
+  obs::RunOptions run;
+  run.bench = "gorder_cli";
+  run.flags = flags.Raw();
+  run.json_out = flags.GetString("json-out", "");
+  run.trace_out = flags.GetString("trace-out", "");
+  obs::StartRun(run);
   std::string cmd = flags.GetString("cmd", "");
   if (cmd == "order") return CmdOrder(flags);
   if (cmd == "stats") return CmdStats(flags);

@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::string dataset = flags.GetString("dataset", "sdarc");
 
-  Graph g = gen::MakeDataset(dataset, opt.scale, opt.seed);
+  Graph g = bench::MakeDataset(opt, dataset);
   bench::PrintHeader("Ablation: cache geometry sensitivity", g, dataset);
   auto config = harness::MakeDefaultConfig(g, 3, opt.seed);
   config.pagerank_iterations = 2;

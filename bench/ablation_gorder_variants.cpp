@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
   const std::string hub_dataset = flags.GetString("hub-dataset", "gplus");
   const int pr_iters = static_cast<int>(flags.GetInt("pr-iters", 3));
 
-  Graph g = gen::MakeDataset(dataset, opt.scale, opt.seed);
+  Graph g = bench::MakeDataset(opt, dataset);
   bench::PrintHeader("Ablation: Gorder variants", g, dataset);
   auto config = harness::MakeDefaultConfig(g, 3, opt.seed);
   config.pagerank_iterations = pr_iters;
@@ -134,7 +134,7 @@ int main(int argc, char** argv) {
 
   // The hub cap only binds on graphs with high out-degree hubs (R-MAT
   // follower graphs); wiki's copying model tops out at ~15 out-edges.
-  Graph hub_graph = gen::MakeDataset(hub_dataset, opt.scale, opt.seed);
+  Graph hub_graph = bench::MakeDataset(opt, hub_dataset);
   std::printf("\nHub-cap sensitivity on %s (max out-degree %u):\n",
               hub_dataset.c_str(), ComputeStats(hub_graph).max_out_degree);
   TablePrinter hub_table({"hub cap", "order time", "F(pi,5)"});

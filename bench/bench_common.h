@@ -15,6 +15,18 @@
 
 namespace gorder::bench {
 
+/// Process-wide artifact store, configured once by `--store-dir` at
+/// flag-parse time. Null when the run is storeless (the default); all
+/// store-aware helpers below degrade to the direct compute path then.
+inline store::Store*& ActiveStoreSlot() {
+  static store::Store* active = nullptr;
+  return active;
+}
+inline store::Store* ActiveStore() { return ActiveStoreSlot(); }
+inline void SetActiveStore(const std::string& dir) {
+  ActiveStoreSlot() = new store::Store(dir);  // lives for the process
+}
+
 /// Options shared by all paper-reproduction binaries.
 ///   --scale=<f>      multiplies every dataset's node/edge budget
 ///   --datasets=a,b   comma-separated subset (default: all nine)
@@ -30,6 +42,13 @@ namespace gorder::bench {
 ///   --quiet          suppress progress narration on stderr
 ///   --json-out=<f>   write a machine-readable run report at exit
 ///   --trace-out=<f>  write a Chrome trace (Perfetto-loadable) at exit
+///   --store-dir=<d>  on-disk artifact store (src/store): datasets are
+///                    resolved to binary gpacks (generate+pack on miss,
+///                    zero-copy mmap on hit) and computed orderings are
+///                    cached as .gperm artifacts keyed by graph
+///                    fingerprint + params, so repeat runs skip both
+///                    generation and Gorder recomputation
+///   --help           print this option summary and exit
 struct BenchOptions {
   double scale = 1.0;
   std::vector<std::string> datasets;
@@ -40,9 +59,43 @@ struct BenchOptions {
   bool quiet = false;
   std::string json_out;
   std::string trace_out;
+  std::string store_dir;
+
+  static void PrintHelp(const char* argv0) {
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "Options shared by all paper-reproduction binaries:\n"
+        "  --scale=<f>      multiplies every dataset's node/edge budget\n"
+        "  --datasets=a,b   comma-separated subset (default: all nine)\n"
+        "  --repeats=<n>    timing repetitions (median reported)\n"
+        "  --csv            machine-readable output\n"
+        "  --seed=<s>       RNG seed for generation and randomised "
+        "orderings\n"
+        "  --threads=<n>    thread budget for the shared pool "
+        "(bit-identical at any value)\n"
+        "  --quiet          suppress progress narration on stderr\n"
+        "  --json-out=<f>   write a machine-readable run report at exit\n"
+        "  --trace-out=<f>  write a Chrome trace (Perfetto) at exit\n"
+        "  --store-dir=<d>  on-disk artifact store: datasets load from\n"
+        "                   binary gpacks (generated+packed on first use,\n"
+        "                   zero-copy mmap'ed afterwards) and orderings\n"
+        "                   are cached per graph fingerprint, so warm\n"
+        "                   runs skip generation and ordering "
+        "computation\n"
+        "  --help           print this summary and exit\n"
+        "\n"
+        "Individual binaries accept extra flags; see the header comment\n"
+        "of the corresponding bench/*.cpp.\n",
+        argv0);
+  }
 
   static BenchOptions Parse(int argc, char** argv, double default_scale) {
     Flags flags(argc, argv);
+    if (flags.GetBool("help", false)) {
+      PrintHelp(BinaryName(argv[0]).c_str());
+      std::exit(0);
+    }
     BenchOptions opt;
     opt.scale = flags.GetDouble("scale", default_scale);
     opt.repeats = static_cast<int>(flags.GetInt("repeats", 1));
@@ -54,6 +107,8 @@ struct BenchOptions {
     if (opt.quiet) SetLogLevel(LogLevel::kQuiet);
     opt.json_out = flags.GetString("json-out", "");
     opt.trace_out = flags.GetString("trace-out", "");
+    opt.store_dir = flags.GetString("store-dir", "");
+    if (!opt.store_dir.empty()) SetActiveStore(opt.store_dir);
     std::string names = flags.GetString("datasets", "");
     if (names.empty()) {
       for (const auto& spec : gen::AllDatasets()) {
@@ -118,10 +173,26 @@ inline cachesim::CacheHierarchyConfig CacheConfigFromFlags(
   return cachesim::CacheHierarchyConfig::ScaledBench();
 }
 
-/// Computes an ordering and reports how long it took.
+/// Resolves a benchmark dataset, through the artifact store when one is
+/// active (--store-dir): zero-copy mmap of the pack on hit, generate +
+/// pack on miss. Storeless runs generate in memory, exactly as before.
+inline Graph MakeDataset(const BenchOptions& opt, const std::string& name) {
+  if (store::Store* s = ActiveStore()) {
+    return s->GetDataset(name, opt.scale, opt.seed);
+  }
+  return gen::MakeDataset(name, opt.scale, opt.seed);
+}
+
+/// Computes an ordering and reports how long it took. With an active
+/// store, `seconds` is the observed setup cost of this run (load on a
+/// hit, compute on a miss) and `cold_seconds` what the ordering cost —
+/// or would have cost — to compute, so callers can report the amortised
+/// speedup.
 struct TimedOrdering {
   std::vector<NodeId> perm;
   double seconds = 0.0;
+  bool cache_hit = false;
+  double cold_seconds = 0.0;
 };
 
 inline TimedOrdering ComputeOrderingTimed(const Graph& graph,
@@ -129,10 +200,63 @@ inline TimedOrdering ComputeOrderingTimed(const Graph& graph,
                                           const order::OrderingParams& params) {
   Timer timer;
   TimedOrdering result;
+  store::Store* s = ActiveStore();
+  std::uint64_t fp = 0;
+  if (s != nullptr) {
+    fp = store::GraphFingerprint(graph);
+    store::Store::CachedOrdering cached;
+    if (s->LoadOrdering(fp, method, params, graph.NumNodes(), &cached)) {
+      result.perm = std::move(cached.perm);
+      result.cache_hit = true;
+      result.cold_seconds = cached.compute_seconds;
+      result.seconds = timer.Seconds();
+      GORDER_LOG_INFO("store: ordering hit %s/%s (loaded %.3fs, saved "
+                      "%.2fs)\n",
+                      order::MethodName(method).c_str(),
+                      store::FingerprintHex(fp).c_str(), result.seconds,
+                      cached.compute_seconds - result.seconds);
+      return result;
+    }
+  }
   result.perm = order::ComputeOrdering(graph, method, params);
   result.seconds = timer.Seconds();
+  result.cold_seconds = result.seconds;
+  if (s != nullptr) {
+    s->SaveOrdering(fp, method, params, result.perm, result.seconds);
+    GORDER_LOG_INFO("store: ordering miss %s/%s — computed %.2fs, cached\n",
+                    order::MethodName(method).c_str(),
+                    store::FingerprintHex(fp).c_str(), result.seconds);
+  }
   return result;
 }
+
+/// Running tally of ordering-cache effectiveness for a bench run; feeds
+/// the one-line summary the warm-store benches print.
+struct StoreSetupStats {
+  int hits = 0;
+  int misses = 0;
+  double setup_seconds = 0.0;  // what this run actually spent
+  double cold_seconds = 0.0;   // what a storeless run would have spent
+
+  void Observe(const TimedOrdering& timed) {
+    (timed.cache_hit ? hits : misses)++;
+    setup_seconds += timed.seconds;
+    cold_seconds += timed.cold_seconds;
+  }
+
+  /// Narrates the summary on stderr when a store is active (no-op
+  /// otherwise). Stderr, not stdout: warm and cold runs must produce
+  /// bit-identical tables/CSV, which CI diffs.
+  void Print() const {
+    if (ActiveStore() == nullptr) return;
+    GORDER_LOG_INFO(
+        "store: %d ordering cache hit%s, %d miss%s; ordering setup %.2fs "
+        "vs %.2fs cold (%.1fx)\n",
+        hits, hits == 1 ? "" : "s", misses, misses == 1 ? "" : "es",
+        setup_seconds, cold_seconds,
+        cold_seconds / std::max(setup_seconds, 1e-9));
+  }
+};
 
 inline void PrintHeader(const std::string& title, const Graph& g,
                         const std::string& dataset) {
@@ -183,9 +307,10 @@ inline SpeedupGrid RunSpeedupGrid(const BenchOptions& opt, int pr_iterations,
   grid.methods = extended_methods ? order::AllMethodsExtended()
                                   : order::AllMethods();
   grid.workloads = harness::AllWorkloads();
+  StoreSetupStats store_stats;
   for (const auto& name : opt.datasets) {
     GORDER_OBS_SPAN(dataset_span, "dataset:" + name);
-    Graph g = gen::MakeDataset(name, opt.scale, opt.seed);
+    Graph g = MakeDataset(opt, name);
     auto config = harness::MakeDefaultConfig(g, diam_sources, opt.seed);
     config.pagerank_iterations = pr_iterations;
     std::vector<std::vector<double>> dataset_times(
@@ -197,6 +322,7 @@ inline SpeedupGrid RunSpeedupGrid(const BenchOptions& opt, int pr_iterations,
       order::OrderingParams params;
       params.seed = opt.seed;
       auto timed = ComputeOrderingTimed(g, grid.methods[mi], params);
+      store_stats.Observe(timed);
       dataset_order_seconds[mi] = timed.seconds;
       Graph h = g.Relabel(timed.perm);
       for (std::size_t wi = 0; wi < grid.workloads.size(); ++wi) {
@@ -216,6 +342,7 @@ inline SpeedupGrid RunSpeedupGrid(const BenchOptions& opt, int pr_iterations,
     grid.times.push_back(std::move(dataset_times));
     grid.order_seconds.push_back(std::move(dataset_order_seconds));
   }
+  store_stats.Print();
   return grid;
 }
 

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
 
   std::vector<Graph> graphs;
   for (const auto& name : datasets) {
-    graphs.push_back(gen::MakeDataset(name, opt.scale, opt.seed));
+    graphs.push_back(bench::MakeDataset(opt, name));
     std::printf("%s: n=%s m=%s csr=%s\n", name.c_str(),
                 TablePrinter::Count(graphs.back().NumNodes()).c_str(),
                 TablePrinter::Count(

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   const int links = static_cast<int>(flags.GetInt("links", 4));
   const auto geometry = bench::CacheConfigFromFlags(flags);
 
-  Graph base = gen::MakeDataset("flickr", opt.scale, opt.seed);
+  Graph base = bench::MakeDataset(opt, "flickr");
   bench::PrintHeader("Extension: dynamic-graph ordering maintenance", base,
                      "flickr");
   std::printf("%d arrivals, %d links each, %d checkpoints\n\n", arrivals,

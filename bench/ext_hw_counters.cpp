@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  Graph g = gen::MakeDataset(dataset, opt.scale, opt.seed);
+  Graph g = bench::MakeDataset(opt, dataset);
   bench::PrintHeader("Extension: hardware counters (PageRank)", g, dataset);
   TablePrinter table({"Ordering", "cycles", "IPC", "L1-mr", "LLC-mr",
                       "wall(s)", "mux"});

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   if (flags.Has("dataset")) datasets = {flags.GetString("dataset", "wiki")};
 
   for (const auto& name : datasets) {
-    Graph g = gen::MakeDataset(name, opt.scale, opt.seed);
+    Graph g = bench::MakeDataset(opt, name);
     bench::PrintHeader("Extension workloads: Triangles, WCC, LabelProp", g,
                        name);
     TablePrinter table({"Ordering", "Tri cycles", "Tri vs Gorder",

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const int pr_iters = static_cast<int>(flags.GetInt("pr-iters", 3));
   const auto cache_config = bench::CacheConfigFromFlags(flags);
 
-  Graph g = gen::MakeDataset(dataset, opt.scale, opt.seed);
+  Graph g = bench::MakeDataset(opt, dataset);
   bench::PrintHeader("Figure 1: CPU execute vs cache stall", g, dataset);
   auto config = harness::MakeDefaultConfig(g, /*num_diam_sources=*/3,
                                            opt.seed);

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const int steps_points = static_cast<int>(flags.GetInt("steps-points", 5));
   const int k_points = static_cast<int>(flags.GetInt("k-points", 7));
 
-  Graph g = gen::MakeDataset(dataset, opt.scale, opt.seed);
+  Graph g = bench::MakeDataset(opt, dataset);
   bench::PrintHeader("Figure 3: simulated annealing tuning (MinLA)", g,
                      dataset);
   const double n = g.NumNodes();

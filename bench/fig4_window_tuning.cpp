@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   const std::string dataset = flags.GetString("dataset", "flickr");
   const int pr_iters = static_cast<int>(flags.GetInt("pr-iters", 5));
 
-  Graph g = gen::MakeDataset(dataset, opt.scale, opt.seed);
+  Graph g = bench::MakeDataset(opt, dataset);
   bench::PrintHeader("Figure 4: Gorder window-size tuning (PageRank)", g,
                      dataset);
   auto config = harness::MakeDefaultConfig(g, 3, opt.seed);

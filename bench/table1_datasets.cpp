@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
                       "MaxInDeg", "AvgDeg", "CSR bytes"});
   for (const auto& name : opt.datasets) {
     const auto& spec = gen::GetDatasetSpec(name);
-    Graph g = gen::MakeDataset(name, opt.scale, opt.seed);
+    Graph g = bench::MakeDataset(opt, name);
     GraphStats s = ComputeStats(g);
     table.AddRow({spec.name, spec.category, spec.generator,
                   TablePrinter::Num(spec.paper_nodes_m, 2),

@@ -28,11 +28,12 @@ int main(int argc, char** argv) {
   std::vector<Graph> graphs;
   std::vector<std::string> mrow = {"Edges m"};
   for (const auto& name : opt.datasets) {
-    graphs.push_back(gen::MakeDataset(name, opt.scale, opt.seed));
+    graphs.push_back(bench::MakeDataset(opt, name));
     mrow.push_back(TablePrinter::Count(
         static_cast<double>(graphs.back().NumEdges())));
   }
 
+  bench::StoreSetupStats store_stats;
   std::vector<std::string> gorder_eps = {"Gorder edges/s"};
   for (order::Method m : methods) {
     std::vector<std::string> row = {order::MethodName(m)};
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
       order::OrderingParams params;
       params.seed = opt.seed;
       auto timed = bench::ComputeOrderingTimed(graphs[d], m, params);
+      store_stats.Observe(timed);
       row.push_back(TablePrinter::Num(timed.seconds, 3));
       if (m == order::Method::kGorder) {
         double eps = static_cast<double>(graphs[d].NumEdges()) /
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
   }
   table.AddRow(mrow);
   table.AddRow(gorder_eps);
+  store_stats.Print();
   if (opt.csv) {
     table.PrintCsv();
   } else {

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   }
 
   for (const auto& name : datasets) {
-    Graph g = gen::MakeDataset(name, opt.scale, opt.seed);
+    Graph g = bench::MakeDataset(opt, name);
     bench::PrintHeader("Table 3: PageRank cache statistics", g, name);
     auto config = harness::MakeDefaultConfig(g, 3, opt.seed);
     config.pagerank_iterations = pr_iters;

@@ -21,6 +21,8 @@
 ///   algo/      the nine benchmark workloads (+ cache-traced variants)
 ///   cachesim/  the software cache hierarchy used for miss-rate studies
 ///   harness/   experiment grids, timing, rank aggregation
+///   store/     binary graph packs (gpack), mmap zero-copy loading, and
+///              the ordering artifact cache
 ///   obs/       telemetry: sharded metrics, phase spans, run reports
 
 #include "algo/algorithms.h"
@@ -54,6 +56,12 @@
 #include "order/ordering.h"
 #include "order/parallel_gorder.h"
 #include "order/unit_heap.h"
+#include "store/fingerprint.h"
+#include "store/gpack.h"
+#include "store/mapped_file.h"
+#include "store/store.h"
+#include "util/array_ref.h"
+#include "util/crc32.h"
 #include "util/flags.h"
 #include "util/parallel.h"
 #include "util/rng.h"

@@ -45,11 +45,25 @@ const std::vector<DatasetSpec>& AllDatasets() {
 }
 
 const DatasetSpec& GetDatasetSpec(const std::string& name) {
+  const DatasetSpec* spec = FindDatasetSpec(name);
+  GORDER_CHECK(spec != nullptr && "unknown dataset name");
+  return *spec;
+}
+
+const DatasetSpec* FindDatasetSpec(const std::string& name) {
   for (const DatasetSpec& spec : AllDatasets()) {
-    if (spec.name == name) return spec;
+    if (spec.name == name) return &spec;
   }
-  GORDER_CHECK(false && "unknown dataset name");
-  __builtin_unreachable();
+  return nullptr;
+}
+
+std::string DatasetNames() {
+  std::string all;
+  for (const DatasetSpec& spec : AllDatasets()) {
+    if (!all.empty()) all += ", ";
+    all += spec.name;
+  }
+  return all;
 }
 
 Graph MakeDataset(const std::string& name, double scale, std::uint64_t seed) {

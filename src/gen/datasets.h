@@ -27,8 +27,17 @@ struct DatasetSpec {
 /// plus epinion), ordered smallest to largest as in its figures.
 const std::vector<DatasetSpec>& AllDatasets();
 
-/// Spec lookup by name; aborts on unknown name.
+/// Spec lookup by name; aborts on unknown name. For user-supplied names
+/// (CLI flags, tool arguments) use FindDatasetSpec instead and report the
+/// valid names.
 const DatasetSpec& GetDatasetSpec(const std::string& name);
+
+/// Non-aborting lookup: nullptr if `name` is not a registered dataset.
+const DatasetSpec* FindDatasetSpec(const std::string& name);
+
+/// Comma-separated registry names ("epinion, pokec, ..."), for "unknown
+/// dataset" diagnostics.
+std::string DatasetNames();
 
 /// Generates the synthetic stand-in for `name`. `scale` multiplies the
 /// default node/edge counts (0.25 for quick smoke runs, 4+ to stress).

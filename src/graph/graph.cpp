@@ -138,9 +138,10 @@ void BuildCsr(NodeId num_nodes, const std::vector<Edge>& edges, bool reverse,
 /// permutation, prefix sum, disjoint scatter of the mapped neighbour
 /// lists, per-bucket sort. O(n + m), no intermediate edge list. Each new
 /// bucket is filled by exactly one old node, so the scatter and the sort
-/// fuse into one pass.
-void RelabelCsr(NodeId num_nodes, const std::vector<EdgeId>& old_offsets,
-                const std::vector<NodeId>& old_neigh,
+/// fuse into one pass. Reads through ArrayRef so the source side can be
+/// an mmap-backed graph; the output is always freshly owned.
+void RelabelCsr(NodeId num_nodes, const ArrayRef<EdgeId>& old_offsets,
+                const ArrayRef<NodeId>& old_neigh,
                 const std::vector<NodeId>& perm, std::vector<EdgeId>& offsets,
                 std::vector<NodeId>& neigh) {
   const std::size_t n = num_nodes;
@@ -178,26 +179,52 @@ Graph Graph::FromEdges(NodeId num_nodes, std::vector<Edge> edges,
   g.num_nodes_ = num_nodes;
   // The two sides are built from the same immutable edge list with
   // identical filter semantics, so they always agree on the edge multiset.
+  std::vector<EdgeId> out_offsets, in_offsets;
+  std::vector<NodeId> out_neigh, in_neigh;
   ParallelInvoke(
       [&] {
         BuildCsr(num_nodes, edges, /*reverse=*/false, keep_self_loops,
-                 keep_duplicates, g.out_offsets_, g.out_neigh_);
+                 keep_duplicates, out_offsets, out_neigh);
       },
       [&] {
         BuildCsr(num_nodes, edges, /*reverse=*/true, keep_self_loops,
-                 keep_duplicates, g.in_offsets_, g.in_neigh_);
+                 keep_duplicates, in_offsets, in_neigh);
       });
+  g.out_offsets_ = ArrayRef<EdgeId>(std::move(out_offsets));
+  g.out_neigh_ = ArrayRef<NodeId>(std::move(out_neigh));
+  g.in_offsets_ = ArrayRef<EdgeId>(std::move(in_offsets));
+  g.in_neigh_ = ArrayRef<NodeId>(std::move(in_neigh));
   GORDER_OBS_ADD(c_build_edges, g.out_neigh_.size() + g.in_neigh_.size());
+  return g;
+}
+
+Graph Graph::FromMapped(NodeId num_nodes, ArrayRef<EdgeId> out_offsets,
+                        ArrayRef<NodeId> out_neighbors,
+                        ArrayRef<EdgeId> in_offsets,
+                        ArrayRef<NodeId> in_neighbors) {
+  GORDER_CHECK(out_offsets.size() == static_cast<std::size_t>(num_nodes) + 1);
+  GORDER_CHECK(in_offsets.size() == static_cast<std::size_t>(num_nodes) + 1);
+  GORDER_CHECK(out_offsets[0] == 0 &&
+               out_offsets[num_nodes] == out_neighbors.size());
+  GORDER_CHECK(in_offsets[0] == 0 &&
+               in_offsets[num_nodes] == in_neighbors.size());
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.out_offsets_ = std::move(out_offsets);
+  g.out_neigh_ = std::move(out_neighbors);
+  g.in_offsets_ = std::move(in_offsets);
+  g.in_neigh_ = std::move(in_neighbors);
   return g;
 }
 
 Graph Graph::Clone() const {
   Graph g;
   g.num_nodes_ = num_nodes_;
-  g.out_offsets_ = out_offsets_;
-  g.out_neigh_ = out_neigh_;
-  g.in_offsets_ = in_offsets_;
-  g.in_neigh_ = in_neigh_;
+  // Clones always own their storage, even when cloning a mapped graph.
+  g.out_offsets_ = ArrayRef<EdgeId>(out_offsets_.ToVector());
+  g.out_neigh_ = ArrayRef<NodeId>(out_neigh_.ToVector());
+  g.in_offsets_ = ArrayRef<EdgeId>(in_offsets_.ToVector());
+  g.in_neigh_ = ArrayRef<NodeId>(in_neigh_.ToVector());
   return g;
 }
 
@@ -214,15 +241,21 @@ Graph Graph::Relabel(const std::vector<NodeId>& perm) const {
   g.num_nodes_ = num_nodes_;
   // Self-loops/duplicates were already handled at original construction;
   // the permutation copies whatever edges exist verbatim.
+  std::vector<EdgeId> out_offsets, in_offsets;
+  std::vector<NodeId> out_neigh, in_neigh;
   ParallelInvoke(
       [&] {
-        RelabelCsr(num_nodes_, out_offsets_, out_neigh_, perm, g.out_offsets_,
-                   g.out_neigh_);
+        RelabelCsr(num_nodes_, out_offsets_, out_neigh_, perm, out_offsets,
+                   out_neigh);
       },
       [&] {
-        RelabelCsr(num_nodes_, in_offsets_, in_neigh_, perm, g.in_offsets_,
-                   g.in_neigh_);
+        RelabelCsr(num_nodes_, in_offsets_, in_neigh_, perm, in_offsets,
+                   in_neigh);
       });
+  g.out_offsets_ = ArrayRef<EdgeId>(std::move(out_offsets));
+  g.out_neigh_ = ArrayRef<NodeId>(std::move(out_neigh));
+  g.in_offsets_ = ArrayRef<EdgeId>(std::move(in_offsets));
+  g.in_neigh_ = ArrayRef<NodeId>(std::move(in_neigh));
   GORDER_OBS_ADD(c_relabel_edges, g.out_neigh_.size() + g.in_neigh_.size());
   return g;
 }

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/array_ref.h"
 #include "util/types.h"
 
 namespace gorder {
@@ -73,6 +74,16 @@ class Graph {
                          bool keep_self_loops = false,
                          bool keep_duplicates = false);
 
+  /// Wraps pre-built CSR arrays — typically borrowed from a memory-mapped
+  /// gpack (src/store) — without copying. The caller is responsible for
+  /// deep validation (monotone offsets, in-range sorted neighbours);
+  /// store::LoadPack performs it before constructing. Only cheap
+  /// structural invariants are re-checked here.
+  static Graph FromMapped(NodeId num_nodes, ArrayRef<EdgeId> out_offsets,
+                          ArrayRef<NodeId> out_neighbors,
+                          ArrayRef<EdgeId> in_offsets,
+                          ArrayRef<NodeId> in_neighbors);
+
   /// Deep copy (explicit because it is O(n + m)).
   Graph Clone() const;
 
@@ -102,11 +113,18 @@ class Graph {
   }
 
   /// Raw CSR access, used by the cache-traced algorithm variants to model
-  /// the exact memory layout the paper's implementation touches.
-  const std::vector<EdgeId>& out_offsets() const { return out_offsets_; }
-  const std::vector<NodeId>& out_neighbors() const { return out_neigh_; }
-  const std::vector<EdgeId>& in_offsets() const { return in_offsets_; }
-  const std::vector<NodeId>& in_neighbors() const { return in_neigh_; }
+  /// the exact memory layout the paper's implementation touches. The
+  /// arrays are owned-or-borrowed (util/array_ref.h): vector-backed for
+  /// built graphs, mapping-backed for graphs loaded zero-copy from a
+  /// gpack. Indexing cost is identical either way.
+  const ArrayRef<EdgeId>& out_offsets() const { return out_offsets_; }
+  const ArrayRef<NodeId>& out_neighbors() const { return out_neigh_; }
+  const ArrayRef<EdgeId>& in_offsets() const { return in_offsets_; }
+  const ArrayRef<NodeId>& in_neighbors() const { return in_neigh_; }
+
+  /// True when the CSR arrays borrow from a shared mapping (zero-copy
+  /// load) rather than owning their storage.
+  bool IsMapped() const { return out_neigh_.borrowed(); }
 
   /// True if the directed edge (src, dst) exists (binary search).
   bool HasEdge(NodeId src, NodeId dst) const;
@@ -124,10 +142,10 @@ class Graph {
 
  private:
   NodeId num_nodes_ = 0;
-  std::vector<EdgeId> out_offsets_{0};
-  std::vector<NodeId> out_neigh_;
-  std::vector<EdgeId> in_offsets_{0};
-  std::vector<NodeId> in_neigh_;
+  ArrayRef<EdgeId> out_offsets_{std::vector<EdgeId>{0}};
+  ArrayRef<NodeId> out_neigh_;
+  ArrayRef<EdgeId> in_offsets_{std::vector<EdgeId>{0}};
+  ArrayRef<NodeId> in_neigh_;
 };
 
 /// Validates that `perm` is a permutation of [0, n). Aborts otherwise.

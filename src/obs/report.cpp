@@ -214,6 +214,7 @@ std::string RenderRunReportJson() {
   json.BeginObject();
   json.KV("schema", "gorder-run-report");
   json.KV("schema_version", kReportSchemaVersion);
+  json.KV("schema_minor", kReportSchemaMinorVersion);
   json.KV("bench", options.bench);
   json.KV("timestamp_unix",
           static_cast<std::int64_t>(

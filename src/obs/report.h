@@ -11,7 +11,9 @@
 /// perf PR-over-PR (`tools/check_report.py` validates the schema).
 ///
 /// Schema: see DESIGN.md "Observability"; `schema_version` is bumped on
-/// any incompatible change.
+/// any incompatible change, `schema_minor` on backward-compatible
+/// additions (new metric/span families, new optional keys). Validators
+/// must treat an absent `schema_minor` as 0.
 
 #include <map>
 #include <string>
@@ -19,6 +21,8 @@
 namespace gorder::obs {
 
 inline constexpr int kReportSchemaVersion = 1;
+// Minor 1: store.* metrics and spans (src/store pack + ordering cache).
+inline constexpr int kReportSchemaMinorVersion = 1;
 
 /// Host/build identity captured in every report, so a number is never
 /// compared against a number from a different machine unknowingly.

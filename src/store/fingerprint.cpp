@@ -1,0 +1,23 @@
+#include "store/fingerprint.h"
+
+#include <cstdio>
+
+namespace gorder::store {
+
+std::uint64_t GraphFingerprint(const Graph& graph) {
+  Hash64 h;
+  h.Mix(graph.NumNodes());
+  h.Mix(graph.NumEdges());
+  for (EdgeId off : graph.out_offsets()) h.Mix(off);
+  for (NodeId v : graph.out_neighbors()) h.Mix(v);
+  return h.Digest();
+}
+
+std::string FingerprintHex(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+}  // namespace gorder::store

@@ -1,0 +1,464 @@
+#include "store/gpack.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "store/fingerprint.h"
+#include "store/mapped_file.h"
+#include "util/crc32.h"
+#include "util/parallel.h"
+
+namespace gorder::store {
+
+namespace {
+
+// The on-disk layout is little-endian by definition; the structs below
+// are written/read as raw bytes, which is only correct on LE hosts.
+static_assert(std::endian::native == std::endian::little,
+              "gpack I/O assumes a little-endian host");
+
+GORDER_OBS_COUNTER(c_pack_write, "store.pack_write");
+GORDER_OBS_COUNTER(c_pack_write_bytes, "store.pack_write_bytes");
+GORDER_OBS_COUNTER(c_mmap_load, "store.mmap_load");
+GORDER_OBS_COUNTER(c_mmap_load_bytes, "store.mmap_load_bytes");
+GORDER_OBS_COUNTER(c_copy_load, "store.copy_load");
+
+constexpr char kMagic[8] = {'G', 'P', 'A', 'C', 'K', 'B', 'I', 'N'};
+constexpr std::uint64_t kFlagHasInCsr = 1;
+constexpr std::uint32_t kSectionAlign = 64;
+constexpr std::uint32_t kMaxSections = 64;
+
+// Section ids, fixed for format version 1.
+enum SectionId : std::uint32_t {
+  kOutOffsets = 1,
+  kOutNeighbors = 2,
+  kInOffsets = 3,
+  kInNeighbors = 4,
+};
+
+struct GpackHeader {
+  char magic[8];
+  std::uint32_t format_version;
+  std::uint32_t header_bytes;
+  std::uint64_t flags;
+  std::uint64_t num_nodes;
+  std::uint64_t num_edges;
+  std::uint64_t fingerprint;
+  std::uint32_t section_count;
+  std::uint32_t header_crc;  // CRC32 of header (this field zeroed) + table
+  std::uint8_t reserved[8];
+};
+static_assert(sizeof(GpackHeader) == 64);
+
+struct GpackSectionEntry {
+  std::uint32_t id;
+  std::uint32_t item_bytes;
+  std::uint64_t offset;
+  std::uint64_t bytes;
+  std::uint32_t crc32;
+  std::uint32_t reserved;
+};
+static_assert(sizeof(GpackSectionEntry) == 32);
+
+const char* SectionName(std::uint32_t id) {
+  switch (id) {
+    case kOutOffsets: return "out_offsets";
+    case kOutNeighbors: return "out_neighbors";
+    case kInOffsets: return "in_offsets";
+    case kInNeighbors: return "in_neighbors";
+    default: return "unknown";
+  }
+}
+
+std::uint64_t AlignUp(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) / a * a;
+}
+
+/// CRC of the header (crc field zeroed) followed by the section table.
+std::uint32_t HeaderCrc(GpackHeader header,
+                        const std::vector<GpackSectionEntry>& table) {
+  header.header_crc = 0;
+  std::uint32_t crc = Crc32(&header, sizeof header);
+  return table.empty()
+             ? crc
+             : Crc32(table.data(), table.size() * sizeof(GpackSectionEntry),
+                     crc);
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// Streams `bytes` of `data` through fwrite in large chunks.
+bool WriteBuffered(std::FILE* f, const void* data, std::uint64_t bytes) {
+  constexpr std::uint64_t kChunk = 8ULL << 20;
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    std::size_t step = static_cast<std::size_t>(std::min(bytes, kChunk));
+    if (std::fwrite(p, 1, step, f) != step) return false;
+    p += step;
+    bytes -= step;
+  }
+  return true;
+}
+
+bool WriteZeros(std::FILE* f, std::uint64_t bytes) {
+  char zeros[kSectionAlign] = {};
+  while (bytes > 0) {
+    std::size_t step = static_cast<std::size_t>(
+        std::min<std::uint64_t>(bytes, sizeof zeros));
+    if (std::fwrite(zeros, 1, step, f) != step) return false;
+    bytes -= step;
+  }
+  return true;
+}
+
+/// Validated view of a pack file: header, table and section extents all
+/// checked against the mapped size. Populated by ParseAndCheck.
+struct PackView {
+  GpackHeader header;
+  std::vector<GpackSectionEntry> table;
+  // Section payloads by id (index 0 unused), bounds-checked.
+  const std::byte* payload[5] = {};
+};
+
+/// Parses and validates everything except the payload CRCs (those are an
+/// O(data) scan, done separately so ReadPackInfo stays cheap). Any
+/// failure returns a clean diagnostic; no out-of-bounds reads happen on
+/// the way (every access is preceded by a size check).
+IoResult ParseAndCheck(const std::string& path, const MappedFile& file,
+                       PackView* view) {
+  const std::byte* base = file.data();
+  const std::uint64_t size = file.size();
+  if (size < sizeof(GpackHeader)) {
+    return IoResult::Error(path + ": truncated gpack (no header)");
+  }
+  std::memcpy(&view->header, base, sizeof(GpackHeader));
+  const GpackHeader& h = view->header;
+  if (std::memcmp(h.magic, kMagic, sizeof kMagic) != 0) {
+    return IoResult::Error(path + ": bad magic (not a gpack file)");
+  }
+  if (h.format_version != kGpackFormatVersion) {
+    return IoResult::Error(
+        path + ": gpack format version " + std::to_string(h.format_version) +
+        " not supported (this build reads version " +
+        std::to_string(kGpackFormatVersion) + ")");
+  }
+  if (h.header_bytes != sizeof(GpackHeader)) {
+    return IoResult::Error(path + ": unexpected header size");
+  }
+  if (h.section_count == 0 || h.section_count > kMaxSections) {
+    return IoResult::Error(path + ": implausible section count");
+  }
+  const std::uint64_t table_bytes =
+      static_cast<std::uint64_t>(h.section_count) * sizeof(GpackSectionEntry);
+  if (size < sizeof(GpackHeader) + table_bytes) {
+    return IoResult::Error(path + ": truncated gpack (no section table)");
+  }
+  view->table.resize(h.section_count);
+  std::memcpy(view->table.data(), base + sizeof(GpackHeader),
+              static_cast<std::size_t>(table_bytes));
+  if (HeaderCrc(h, view->table) != h.header_crc) {
+    return IoResult::Error(path + ": header checksum mismatch (corrupt)");
+  }
+  if (h.num_nodes > 0xFFFFFFFFULL) {
+    return IoResult::Error(path + ": node count exceeds 32-bit id space");
+  }
+  if ((h.flags & kFlagHasInCsr) == 0) {
+    return IoResult::Error(path + ": pack lacks the in-CSR (flag unset)");
+  }
+
+  const std::uint64_t n = h.num_nodes;
+  const std::uint64_t m = h.num_edges;
+  struct Expected {
+    std::uint32_t id;
+    std::uint32_t item_bytes;
+    std::uint64_t items;
+  };
+  const Expected expected[4] = {
+      {kOutOffsets, sizeof(EdgeId), n + 1},
+      {kOutNeighbors, sizeof(NodeId), m},
+      {kInOffsets, sizeof(EdgeId), n + 1},
+      {kInNeighbors, sizeof(NodeId), m},
+  };
+  for (const Expected& want : expected) {
+    const GpackSectionEntry* entry = nullptr;
+    for (const GpackSectionEntry& e : view->table) {
+      if (e.id == want.id) {
+        if (entry != nullptr) {
+          return IoResult::Error(path + ": duplicate section " +
+                                 SectionName(want.id));
+        }
+        entry = &e;
+      }
+    }
+    if (entry == nullptr) {
+      return IoResult::Error(path + ": missing section " +
+                             SectionName(want.id));
+    }
+    if (entry->item_bytes != want.item_bytes ||
+        entry->bytes != want.items * want.item_bytes) {
+      return IoResult::Error(path + ": section " + SectionName(want.id) +
+                             " has inconsistent size");
+    }
+    if (entry->offset % want.item_bytes != 0) {
+      return IoResult::Error(path + ": section " + SectionName(want.id) +
+                             " is misaligned");
+    }
+    if (entry->offset > size || entry->bytes > size - entry->offset) {
+      return IoResult::Error(path + ": section " + SectionName(want.id) +
+                             " extends past end of file (truncated?)");
+    }
+    view->payload[want.id] = base + entry->offset;
+  }
+  return IoResult::Ok();
+}
+
+/// Verifies the payload CRCs of the four CSR sections (parallel across
+/// sections).
+IoResult CheckSectionCrcs(const std::string& path, const MappedFile& file,
+                          const PackView& view) {
+  std::atomic<const char*> bad{nullptr};
+  auto check = [&](std::uint32_t id) {
+    for (const GpackSectionEntry& e : view.table) {
+      if (e.id != id) continue;
+      if (Crc32(file.data() + e.offset,
+                static_cast<std::size_t>(e.bytes)) != e.crc32) {
+        bad.store(SectionName(id), std::memory_order_relaxed);
+      }
+      return;
+    }
+  };
+  ParallelInvoke([&] { check(kOutOffsets); }, [&] { check(kOutNeighbors); },
+                 [&] { check(kInOffsets); }, [&] { check(kInNeighbors); });
+  if (const char* name = bad.load()) {
+    return IoResult::Error(path + ": section " + name +
+                           " checksum mismatch (corrupt)");
+  }
+  return IoResult::Ok();
+}
+
+/// Deep CSR validation of one side: offsets start at 0, end at m, are
+/// monotone; neighbour lists are sorted ascending with all ids < n.
+/// Guarantees every later array access in the algorithms stays in
+/// bounds.
+bool ValidCsrSide(std::uint64_t n, std::uint64_t m, const EdgeId* offsets,
+                  const NodeId* neigh) {
+  if (offsets[0] != 0 || offsets[n] != m) return false;
+  std::atomic<bool> ok{true};
+  ParallelFor(0, static_cast<std::size_t>(n), 1 << 12,
+              [&](std::size_t b, std::size_t e) {
+                bool good = true;
+                for (std::size_t v = b; v < e && good; ++v) {
+                  const EdgeId lo = offsets[v], hi = offsets[v + 1];
+                  if (lo > hi || hi > m) {
+                    good = false;
+                    break;
+                  }
+                  for (EdgeId i = lo; i < hi; ++i) {
+                    if (neigh[i] >= n || (i > lo && neigh[i] < neigh[i - 1])) {
+                      good = false;
+                      break;
+                    }
+                  }
+                }
+                if (!good) ok.store(false, std::memory_order_relaxed);
+              });
+  return ok.load();
+}
+
+IoResult CheckCsrInvariants(const std::string& path, const PackView& view) {
+  const std::uint64_t n = view.header.num_nodes;
+  const std::uint64_t m = view.header.num_edges;
+  const auto* out_off = reinterpret_cast<const EdgeId*>(view.payload[kOutOffsets]);
+  const auto* out_nbr = reinterpret_cast<const NodeId*>(view.payload[kOutNeighbors]);
+  const auto* in_off = reinterpret_cast<const EdgeId*>(view.payload[kInOffsets]);
+  const auto* in_nbr = reinterpret_cast<const NodeId*>(view.payload[kInNeighbors]);
+  if (!ValidCsrSide(n, m, out_off, out_nbr)) {
+    return IoResult::Error(path + ": out-CSR violates format invariants");
+  }
+  if (!ValidCsrSide(n, m, in_off, in_nbr)) {
+    return IoResult::Error(path + ": in-CSR violates format invariants");
+  }
+  return IoResult::Ok();
+}
+
+}  // namespace
+
+IoResult WritePack(const std::string& path, const Graph& graph) {
+  GORDER_OBS_SPAN(span, "store.pack_write");
+  const std::uint64_t n = graph.NumNodes();
+  const std::uint64_t m = graph.NumEdges();
+
+  GpackHeader header = {};
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.format_version = kGpackFormatVersion;
+  header.header_bytes = sizeof(GpackHeader);
+  header.flags = kFlagHasInCsr;
+  header.num_nodes = n;
+  header.num_edges = m;
+  header.section_count = 4;
+
+  struct Payload {
+    std::uint32_t id;
+    std::uint32_t item_bytes;
+    const void* data;
+    std::uint64_t bytes;
+  };
+  const Payload payloads[4] = {
+      {kOutOffsets, sizeof(EdgeId), graph.out_offsets().data(),
+       graph.out_offsets().size() * sizeof(EdgeId)},
+      {kOutNeighbors, sizeof(NodeId), graph.out_neighbors().data(),
+       graph.out_neighbors().size() * sizeof(NodeId)},
+      {kInOffsets, sizeof(EdgeId), graph.in_offsets().data(),
+       graph.in_offsets().size() * sizeof(EdgeId)},
+      {kInNeighbors, sizeof(NodeId), graph.in_neighbors().data(),
+       graph.in_neighbors().size() * sizeof(NodeId)},
+  };
+
+  // Fingerprint and the four payload CRCs are independent scans; run them
+  // concurrently on the shared pool.
+  std::vector<GpackSectionEntry> table(4);
+  std::uint64_t offset =
+      AlignUp(sizeof(GpackHeader) + table.size() * sizeof(GpackSectionEntry),
+              kSectionAlign);
+  for (std::size_t i = 0; i < 4; ++i) {
+    table[i].id = payloads[i].id;
+    table[i].item_bytes = payloads[i].item_bytes;
+    table[i].offset = offset;
+    table[i].bytes = payloads[i].bytes;
+    table[i].reserved = 0;
+    offset = AlignUp(offset + payloads[i].bytes, kSectionAlign);
+  }
+  ParallelInvoke(
+      [&] { header.fingerprint = GraphFingerprint(graph); },
+      [&] {
+        table[0].crc32 = Crc32(payloads[0].data, payloads[0].bytes);
+        table[1].crc32 = Crc32(payloads[1].data, payloads[1].bytes);
+      },
+      [&] {
+        table[2].crc32 = Crc32(payloads[2].data, payloads[2].bytes);
+        table[3].crc32 = Crc32(payloads[3].data, payloads[3].bytes);
+      });
+  header.header_crc = HeaderCrc(header, table);
+
+  // Stage to a temp file next to the target, rename on success: a
+  // crashed or concurrent writer can never leave a half-written pack
+  // under the final name.
+  std::error_code ec;
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) return IoResult::Error("cannot open " + tmp + " for writing");
+    bool ok = std::fwrite(&header, sizeof header, 1, f.get()) == 1 &&
+              std::fwrite(table.data(), sizeof(GpackSectionEntry),
+                          table.size(), f.get()) == table.size();
+    std::uint64_t pos =
+        sizeof(GpackHeader) + table.size() * sizeof(GpackSectionEntry);
+    for (std::size_t i = 0; ok && i < 4; ++i) {
+      ok = WriteZeros(f.get(), table[i].offset - pos) &&
+           WriteBuffered(f.get(), payloads[i].data, payloads[i].bytes);
+      pos = table[i].offset + table[i].bytes;
+    }
+    if (!ok || std::fflush(f.get()) != 0) {
+      f.reset();
+      std::filesystem::remove(tmp, ec);
+      return IoResult::Error("short write to " + tmp);
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return IoResult::Error("cannot rename " + tmp + " to " + path);
+  }
+  GORDER_OBS_INC(c_pack_write);
+  GORDER_OBS_ADD(c_pack_write_bytes, offset);
+  return IoResult::Ok();
+}
+
+IoResult LoadPack(const std::string& path, Graph* graph, LoadMode mode) {
+  GORDER_OBS_SPAN(span, "store.mmap_load");
+  std::shared_ptr<MappedFile> file;
+  IoResult r = MappedFile::Map(path, &file);
+  if (!r.ok) return r;
+  PackView view;
+  if (r = ParseAndCheck(path, *file, &view); !r.ok) return r;
+  if (r = CheckSectionCrcs(path, *file, view); !r.ok) return r;
+  if (r = CheckCsrInvariants(path, view); !r.ok) return r;
+
+  const auto n = static_cast<NodeId>(view.header.num_nodes);
+  const auto n_off = static_cast<std::size_t>(view.header.num_nodes) + 1;
+  const std::uint64_t m = view.header.num_edges;
+  const auto* out_off = reinterpret_cast<const EdgeId*>(view.payload[kOutOffsets]);
+  const auto* out_nbr = reinterpret_cast<const NodeId*>(view.payload[kOutNeighbors]);
+  const auto* in_off = reinterpret_cast<const EdgeId*>(view.payload[kInOffsets]);
+  const auto* in_nbr = reinterpret_cast<const NodeId*>(view.payload[kInNeighbors]);
+  const auto count = static_cast<std::size_t>(m);
+
+  if (mode == LoadMode::kMmap) {
+    *graph = Graph::FromMapped(
+        n, ArrayRef<EdgeId>(out_off, n_off, file),
+        ArrayRef<NodeId>(out_nbr, count, file),
+        ArrayRef<EdgeId>(in_off, n_off, file),
+        ArrayRef<NodeId>(in_nbr, count, file));
+    GORDER_OBS_INC(c_mmap_load);
+    GORDER_OBS_ADD(c_mmap_load_bytes, file->size());
+  } else {
+    *graph = Graph::FromMapped(
+        n, ArrayRef<EdgeId>(std::vector<EdgeId>(out_off, out_off + n_off)),
+        ArrayRef<NodeId>(std::vector<NodeId>(out_nbr, out_nbr + count)),
+        ArrayRef<EdgeId>(std::vector<EdgeId>(in_off, in_off + n_off)),
+        ArrayRef<NodeId>(std::vector<NodeId>(in_nbr, in_nbr + count)));
+    GORDER_OBS_INC(c_copy_load);
+  }
+  return IoResult::Ok();
+}
+
+IoResult ReadPackInfo(const std::string& path, GpackInfo* info) {
+  std::shared_ptr<MappedFile> file;
+  IoResult r = MappedFile::Map(path, &file);
+  if (!r.ok) return r;
+  PackView view;
+  if (r = ParseAndCheck(path, *file, &view); !r.ok) return r;
+  info->format_version = view.header.format_version;
+  info->flags = view.header.flags;
+  info->num_nodes = view.header.num_nodes;
+  info->num_edges = view.header.num_edges;
+  info->fingerprint = view.header.fingerprint;
+  info->file_bytes = file->size();
+  info->sections.clear();
+  for (const GpackSectionEntry& e : view.table) {
+    info->sections.push_back({SectionName(e.id), e.id, e.item_bytes, e.offset,
+                              e.bytes, e.crc32});
+  }
+  return IoResult::Ok();
+}
+
+IoResult VerifyPack(const std::string& path) {
+  Graph g;
+  IoResult r = LoadPack(path, &g, LoadMode::kMmap);
+  if (!r.ok) return r;
+  GpackInfo info;
+  if (r = ReadPackInfo(path, &info); !r.ok) return r;
+  if (GraphFingerprint(g) != info.fingerprint) {
+    return IoResult::Error(path +
+                           ": content fingerprint mismatch (header does not "
+                           "match payload)");
+  }
+  return IoResult::Ok();
+}
+
+}  // namespace gorder::store

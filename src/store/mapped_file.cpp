@@ -1,0 +1,80 @@
+#include "store/mapped_file.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__) || defined(__APPLE__)
+#define GORDER_STORE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace gorder::store {
+
+IoResult MappedFile::Map(const std::string& path,
+                         std::shared_ptr<MappedFile>* out) {
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+#ifdef GORDER_STORE_HAS_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return IoResult::Error("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return IoResult::Error("cannot stat " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size > 0) {
+    void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd);
+      return IoResult::Error("cannot mmap " + path);
+    }
+    file->data_ = static_cast<const std::byte*>(p);
+  }
+  // The mapping outlives the descriptor; close it now.
+  ::close(fd);
+  file->size_ = size;
+  file->mmapped_ = true;
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return IoResult::Error("cannot open " + path);
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return IoResult::Error("cannot seek " + path);
+  }
+  long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return IoResult::Error("cannot stat " + path);
+  }
+  std::rewind(f);
+  auto* buf = size > 0 ? new std::byte[static_cast<std::size_t>(size)]
+                       : nullptr;
+  if (size > 0 && std::fread(buf, 1, static_cast<std::size_t>(size), f) !=
+                      static_cast<std::size_t>(size)) {
+    delete[] buf;
+    std::fclose(f);
+    return IoResult::Error("short read from " + path);
+  }
+  std::fclose(f);
+  file->data_ = buf;
+  file->size_ = static_cast<std::size_t>(size);
+  file->mmapped_ = false;
+#endif
+  *out = std::move(file);
+  return IoResult::Ok();
+}
+
+MappedFile::~MappedFile() {
+#ifdef GORDER_STORE_HAS_MMAP
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#else
+  delete[] data_;
+#endif
+}
+
+}  // namespace gorder::store

@@ -1,0 +1,100 @@
+#ifndef GORDER_UTIL_ARRAY_REF_H_
+#define GORDER_UTIL_ARRAY_REF_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace gorder {
+
+/// Owned-or-borrowed immutable array.
+///
+/// The CSR arrays of `Graph` live behind this wrapper so a graph can
+/// either own its storage (`std::vector`, the classic build path) or
+/// borrow it from a memory-mapped gpack section (src/store) without a
+/// copy. A borrowed ArrayRef holds a shared keep-alive handle to the
+/// mapping, so the bytes stay valid for as long as any array referencing
+/// them is alive — several ArrayRefs (the four CSR sides) typically share
+/// one mapping.
+///
+/// Read access is branch-free: `data_`/`size_` are maintained across
+/// moves so `operator[]` costs exactly what a raw pointer does, keeping
+/// the algorithm kernels' inner loops unchanged. Like the Graph that
+/// contains it, the type is move-only; deep copies are explicit
+/// (`ToVector`).
+template <typename T>
+class ArrayRef {
+ public:
+  using value_type = T;
+
+  ArrayRef() = default;
+
+  /// Owning: takes the vector's storage.
+  explicit ArrayRef(std::vector<T> v)
+      : owned_(std::move(v)), data_(owned_.data()), size_(owned_.size()) {}
+
+  /// Borrowing: points into `keepalive`-owned memory (e.g. an mmap'ed
+  /// file section). The region [data, data + size) must stay valid while
+  /// `keepalive` is alive.
+  ArrayRef(const T* data, std::size_t size,
+           std::shared_ptr<const void> keepalive)
+      : keepalive_(std::move(keepalive)),
+        data_(data),
+        size_(size),
+        borrowed_(true) {}
+
+  ArrayRef(ArrayRef&& other) noexcept { *this = std::move(other); }
+  ArrayRef& operator=(ArrayRef&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      keepalive_ = std::move(other.keepalive_);
+      borrowed_ = other.borrowed_;
+      size_ = other.size_;
+      // A moved-from std::vector keeps its element storage alive in the
+      // destination, so the cached pointer must be re-derived for the
+      // owning case (and stays as-is for the borrowed case).
+      data_ = borrowed_ ? other.data_ : owned_.data();
+      other.owned_.clear();
+      other.keepalive_.reset();
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.borrowed_ = false;
+    }
+    return *this;
+  }
+  ArrayRef(const ArrayRef&) = delete;
+  ArrayRef& operator=(const ArrayRef&) = delete;
+
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  /// True when this array borrows from a shared mapping rather than
+  /// owning a vector.
+  bool borrowed() const { return borrowed_; }
+
+  /// Explicit deep copy into owned storage.
+  std::vector<T> ToVector() const { return std::vector<T>(begin(), end()); }
+
+  friend bool operator==(const ArrayRef& a, const ArrayRef& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::vector<T> owned_;
+  std::shared_ptr<const void> keepalive_;
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool borrowed_ = false;
+};
+
+}  // namespace gorder
+
+#endif  // GORDER_UTIL_ARRAY_REF_H_

@@ -1,0 +1,60 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace gorder {
+
+namespace {
+
+/// Slice-by-4 lookup tables, generated once at first use. Table 0 is the
+/// classic byte-at-a-time table; tables 1..3 fold in the CRC of a zero
+/// byte appended 1..3 times, letting the hot loop consume 4 bytes per
+/// iteration (~4x the throughput of the naive loop, which matters when a
+/// pack write checksums hundreds of MB of CSR data).
+struct Crc32Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t;
+
+  Crc32Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Crc32Tables& Tables() {
+  static const Crc32Tables* tables = new Crc32Tables;
+  return *tables;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto& t = Tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  while (len >= 4) {
+    c ^= static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+    c = t[3][c & 0xFFu] ^ t[2][(c >> 8) & 0xFFu] ^ t[1][(c >> 16) & 0xFFu] ^
+        t[0][c >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) {
+    c = t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace gorder

@@ -1,0 +1,20 @@
+#ifndef GORDER_UTIL_CRC32_H_
+#define GORDER_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gorder {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum used for the
+/// gpack/gperm on-disk sections (src/store). Streaming-friendly: feed the
+/// previous return value back in as `seed` to continue a running CRC over
+/// multiple buffers. Crc32(data, len) == Crc32 of the whole buffer.
+///
+/// Reference value (RFC 3720 appendix / zlib test vector):
+///   Crc32("123456789", 9) == 0xCBF43926
+std::uint32_t Crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace gorder
+
+#endif  // GORDER_UTIL_CRC32_H_

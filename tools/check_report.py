@@ -5,10 +5,20 @@ Stdlib-only so it runs anywhere python3 exists (CI bench-smoke job).
 
 Usage:
   tools/check_report.py REPORT.json [--require-depth=N]
-                        [--require-metric=NAME ...] [--trace=TRACE.json]
+                        [--require-metric=NAME ...]
+                        [--require-span=NAME ...] [--trace=TRACE.json]
 
 Exit status: 0 if the report (and optional trace) is valid, 1 otherwise,
 with one diagnostic per violation on stderr.
+
+Versioning: `schema_version` bumps on incompatible changes and must
+match exactly; `schema_minor` (absent = 0) bumps on backward-compatible
+additions and any value this validator does not know yet is accepted.
+Minor 1 added the store.* family — pack/ordering-cache counters
+(store.pack_hit, store.pack_miss, store.ordering_hit, store.ordering_miss,
+store.ordering_write, store.pack_write_bytes, store.mmap_load_bytes, ...)
+and spans (store.pack_write, store.mmap_load, store.ordering_lookup) —
+emitted by runs with an active --store-dir.
 """
 
 import argparse
@@ -115,11 +125,24 @@ def check_span(span, path, depth):
     return max_depth
 
 
-def check_report(doc, require_depth, require_metrics):
+def span_names(span, out):
+    if isinstance(span, dict):
+        if isinstance(span.get("name"), str):
+            out.add(span["name"])
+        for child in span.get("children", []):
+            span_names(child, out)
+
+
+def check_report(doc, require_depth, require_metrics, require_spans):
     expect(doc.get("schema") == SCHEMA_NAME,
            f"schema must be {SCHEMA_NAME!r}, got {doc.get('schema')!r}")
     expect(doc.get("schema_version") == SCHEMA_VERSION,
            f"schema_version must be {SCHEMA_VERSION}")
+    # Backward/forward-compatible minor: absent (pre-minor reports) = 0,
+    # unknown larger values are fine by definition.
+    minor = doc.get("schema_minor", 0)
+    expect(isinstance(minor, int) and minor >= 0,
+           f"schema_minor must be a non-negative int (got {minor!r})")
     expect(isinstance(doc.get("bench"), str) and doc.get("bench"),
            "bench must be a non-empty string")
     expect(isinstance(doc.get("timestamp_unix"), int),
@@ -139,6 +162,13 @@ def check_report(doc, require_depth, require_metrics):
         value = doc.get("metrics", {}).get(name)
         expect(isinstance(value, int) and value > 0,
                f"required metric {name} missing or zero (got {value!r})")
+    if require_spans:
+        seen = set()
+        for s in spans if isinstance(spans, list) else []:
+            span_names(s, seen)
+        for name in require_spans:
+            expect(name in seen,
+                   f"required span {name!r} not found in the span tree")
 
 
 def check_trace(doc):
@@ -167,6 +197,8 @@ def main():
                         help="minimum span-tree nesting depth")
     parser.add_argument("--require-metric", action="append", default=[],
                         help="metric that must exist with a nonzero value")
+    parser.add_argument("--require-span", action="append", default=[],
+                        help="span name that must appear in the span tree")
     parser.add_argument("--trace", default=None,
                         help="also validate a --trace-out file")
     args = parser.parse_args()
@@ -177,7 +209,8 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         err(f"{args.report}: {e}")
         return 1
-    check_report(doc, args.require_depth, args.require_metric)
+    check_report(doc, args.require_depth, args.require_metric,
+                 args.require_span)
 
     if args.trace is not None:
         try:

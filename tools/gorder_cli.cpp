@@ -11,6 +11,18 @@
 //                                                         by extension)
 //   gorder_cli --cmd=algo    --in=g.txt --algo=pr|bfs|sp|wcc|tc
 //              [--iters=20] [--source=N] [--repeats=3] [--threads=N]
+//   gorder_cli --cmd=pack    --dataset=pokec --store-dir=store
+//                            [--scale=0.25] [--seed=42]
+//              (generates the dataset into its canonical store pack; or
+//               --in=g.txt --out=g.gpack to pack an arbitrary graph)
+//   gorder_cli --cmd=info    --in=g.gpack   (header + section table)
+//   gorder_cli --cmd=verify  --in=g.gpack   (full integrity check:
+//               checksums, CSR invariants, content fingerprint; exit 0
+//               iff the pack is intact)
+//
+// Graph file formats by extension: .txt edge list, .bin legacy binary,
+// .gpack mmap-able store pack (any command's --in/--out accepts any of
+// them; --cmd=convert translates between all three).
 //
 // Methods: Original Random MinLA MinLogA RCM InDegSort ChDFS SlashBurn
 //          LDG Gorder Metis OutDegSort HubSort HubCluster DBG
@@ -38,8 +50,9 @@ bool EndsWith(const std::string& s, const char* suffix) {
 }
 
 int LoadGraph(const std::string& path, Graph* g) {
-  IoResult r = EndsWith(path, ".bin") ? ReadBinary(path, g)
-                                      : ReadEdgeList(path, g);
+  IoResult r = EndsWith(path, ".gpack") ? store::LoadPack(path, g)
+               : EndsWith(path, ".bin") ? ReadBinary(path, g)
+                                        : ReadEdgeList(path, g);
   if (!r.ok) {
     std::fprintf(stderr, "error: %s\n", r.error.c_str());
     return 1;
@@ -48,13 +61,27 @@ int LoadGraph(const std::string& path, Graph* g) {
 }
 
 int StoreGraph(const std::string& path, const Graph& g) {
-  IoResult r = EndsWith(path, ".bin") ? WriteBinary(path, g)
-                                      : WriteEdgeList(path, g);
+  IoResult r = EndsWith(path, ".gpack") ? store::WritePack(path, g)
+               : EndsWith(path, ".bin") ? WriteBinary(path, g)
+                                        : WriteEdgeList(path, g);
   if (!r.ok) {
     std::fprintf(stderr, "error: %s\n", r.error.c_str());
     return 1;
   }
   return 0;
+}
+
+/// Validated dataset lookup for user-supplied --dataset flags: prints
+/// the registry on a miss and exits 2 (usage error) instead of aborting.
+const gen::DatasetSpec* RequireDatasetSpec(const std::string& name) {
+  const gen::DatasetSpec* spec = gen::FindDatasetSpec(name);
+  if (spec == nullptr) {
+    std::fprintf(stderr,
+                 "error: unknown dataset '%s'\n"
+                 "valid names: %s\n",
+                 name.c_str(), gen::DatasetNames().c_str());
+  }
+  return spec;
 }
 
 int CmdOrder(const Flags& flags) {
@@ -129,12 +156,101 @@ int CmdScore(const Flags& flags) {
 
 int CmdGen(const Flags& flags) {
   std::string name = flags.GetString("dataset", "epinion");
+  if (RequireDatasetSpec(name) == nullptr) return 2;
   double scale = flags.GetDouble("scale", 0.25);
   auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   Graph g = gen::MakeDataset(name, scale, seed);
   GORDER_LOG_INFO("generated %s: n=%u m=%llu\n", name.c_str(),
                   g.NumNodes(), static_cast<unsigned long long>(g.NumEdges()));
   return StoreGraph(flags.GetString("out", name + ".txt"), g);
+}
+
+/// Packs a graph into the gpack container. Two modes:
+///   --dataset=<name> [--store-dir=<d>] [--scale --seed [--out]]
+///       generates the dataset and writes its canonical store pack
+///       (or --out if given);
+///   --in=<graph file> --out=<f.gpack>
+///       packs an existing graph file.
+int CmdPack(const Flags& flags) {
+  std::string in = flags.GetString("in", "");
+  std::string out = flags.GetString("out", "");
+  std::string dataset = flags.GetString("dataset", "");
+  Graph g;
+  if (!dataset.empty()) {
+    if (RequireDatasetSpec(dataset) == nullptr) return 2;
+    double scale = flags.GetDouble("scale", 0.25);
+    auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+    std::string store_dir = flags.GetString("store-dir", "");
+    if (out.empty()) {
+      if (store_dir.empty()) {
+        std::fprintf(stderr,
+                     "error: --cmd=pack --dataset needs --store-dir "
+                     "(canonical pack path) or --out=<f.gpack>\n");
+        return 2;
+      }
+      out = store::Store(store_dir).PackPath(dataset, scale, seed);
+    }
+    g = gen::MakeDataset(dataset, scale, seed);
+  } else if (!in.empty()) {
+    if (out.empty()) {
+      std::fprintf(stderr, "error: --cmd=pack --in needs --out=<f.gpack>\n");
+      return 2;
+    }
+    if (LoadGraph(in, &g) != 0) return 1;
+  } else {
+    std::fprintf(stderr,
+                 "error: --cmd=pack needs --dataset=<name> or --in=<file>\n");
+    return 2;
+  }
+  IoResult r = store::WritePack(out, g);
+  if (!r.ok) {
+    std::fprintf(stderr, "error: %s\n", r.error.c_str());
+    return 1;
+  }
+  GORDER_LOG_INFO("packed n=%u m=%llu -> %s\n", g.NumNodes(),
+                  static_cast<unsigned long long>(g.NumEdges()), out.c_str());
+  std::printf("%s\n", out.c_str());
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  std::string path = flags.GetString("in", "");
+  store::GpackInfo info;
+  IoResult r = store::ReadPackInfo(path, &info);
+  if (!r.ok) {
+    std::fprintf(stderr, "error: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("file:        %s (%llu bytes)\n", path.c_str(),
+              static_cast<unsigned long long>(info.file_bytes));
+  std::printf("format:      gpack v%u, flags=0x%llx\n", info.format_version,
+              static_cast<unsigned long long>(info.flags));
+  std::printf("nodes:       %llu\n",
+              static_cast<unsigned long long>(info.num_nodes));
+  std::printf("edges:       %llu\n",
+              static_cast<unsigned long long>(info.num_edges));
+  std::printf("fingerprint: %016llx\n",
+              static_cast<unsigned long long>(info.fingerprint));
+  std::printf("sections:\n");
+  for (const auto& s : info.sections) {
+    std::printf("  %-13s id=%u item=%uB offset=%-10llu bytes=%-12llu "
+                "crc32=%08x\n",
+                s.name.c_str(), s.id, s.item_bytes,
+                static_cast<unsigned long long>(s.offset),
+                static_cast<unsigned long long>(s.bytes), s.crc32);
+  }
+  return 0;
+}
+
+int CmdVerify(const Flags& flags) {
+  std::string path = flags.GetString("in", "");
+  IoResult r = store::VerifyPack(path);
+  if (!r.ok) {
+    std::fprintf(stderr, "verify FAILED: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("%s: OK\n", path.c_str());
+  return 0;
 }
 
 int CmdConvert(const Flags& flags) {
@@ -231,9 +347,12 @@ int Run(int argc, char** argv) {
   if (cmd == "gen") return CmdGen(flags);
   if (cmd == "convert") return CmdConvert(flags);
   if (cmd == "algo") return CmdAlgo(flags);
+  if (cmd == "pack") return CmdPack(flags);
+  if (cmd == "info") return CmdInfo(flags);
+  if (cmd == "verify") return CmdVerify(flags);
   std::fprintf(stderr,
                "usage: gorder_cli --cmd=order|stats|score|gen|convert|algo"
-               " ...\n"
+               "|pack|info|verify ...\n"
                "see the header of tools/gorder_cli.cpp for details\n");
   return 2;
 }

@@ -1,0 +1,49 @@
+#include "store/atomic_file.h"
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+
+#if defined(__linux__) || defined(__APPLE__)
+#define GORDER_STORE_HAS_POSIX_SYNC 1
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace gorder::store {
+
+std::string StagingPath(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t seq = counter.fetch_add(1, std::memory_order_relaxed);
+#ifdef GORDER_STORE_HAS_POSIX_SYNC
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  return path + ".tmp." + std::to_string(pid) + "." + std::to_string(seq);
+}
+
+bool FlushAndSync(std::FILE* f) {
+  if (std::fflush(f) != 0) return false;
+#ifdef GORDER_STORE_HAS_POSIX_SYNC
+  if (::fsync(::fileno(f)) != 0) return false;
+#endif
+  return true;
+}
+
+void SyncParentDir(const std::string& path) {
+#ifdef GORDER_STORE_HAS_POSIX_SYNC
+  const std::filesystem::path p(path);
+  const std::string dir =
+      p.has_parent_path() ? p.parent_path().string() : std::string(".");
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace gorder::store

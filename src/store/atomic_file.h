@@ -1,0 +1,31 @@
+#ifndef GORDER_STORE_ATOMIC_FILE_H_
+#define GORDER_STORE_ATOMIC_FILE_H_
+
+/// Helpers for the write-to-temp-then-rename pattern shared by the
+/// gpack and gperm writers. Together they give the usual atomicity
+/// story: readers only ever see the old file or the complete new one,
+/// concurrent writers never interleave into each other's staging file,
+/// and the renamed file survives a crash/power loss once the writer
+/// returned success.
+
+#include <cstdio>
+#include <string>
+
+namespace gorder::store {
+
+/// Staging path for an atomic write of `path`, unique per writer
+/// (pid + an in-process counter), so concurrent writers targeting the
+/// same final path each stage to their own file.
+std::string StagingPath(const std::string& path);
+
+/// Flushes stdio buffers and fsyncs the file to stable storage.
+/// Returns false if either step fails.
+bool FlushAndSync(std::FILE* f);
+
+/// Best-effort fsync of the directory containing `path`, making a
+/// just-completed rename into that directory durable.
+void SyncParentDir(const std::string& path);
+
+}  // namespace gorder::store
+
+#endif  // GORDER_STORE_ATOMIC_FILE_H_

@@ -9,6 +9,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "store/atomic_file.h"
 #include "store/fingerprint.h"
 #include "store/mapped_file.h"
 #include "util/crc32.h"
@@ -172,6 +173,14 @@ IoResult ParseAndCheck(const std::string& path, const MappedFile& file,
   }
   if (h.num_nodes > 0xFFFFFFFFULL) {
     return IoResult::Error(path + ": node count exceeds 32-bit id space");
+  }
+  // Bound num_edges by the file size before it enters any size
+  // arithmetic: an unchecked 2^62 would wrap `items * item_bytes` below,
+  // let zero-length neighbor sections pass, and the CSR scan would then
+  // read far past the mapping. (num_nodes is already capped above, so
+  // (n + 1) * sizeof(EdgeId) cannot wrap.)
+  if (h.num_edges > size / sizeof(NodeId)) {
+    return IoResult::Error(path + ": edge count implausible for file size");
   }
   if ((h.flags & kFlagHasInCsr) == 0) {
     return IoResult::Error(path + ": pack lacks the in-CSR (flag unset)");
@@ -351,15 +360,16 @@ IoResult WritePack(const std::string& path, const Graph& graph) {
       });
   header.header_crc = HeaderCrc(header, table);
 
-  // Stage to a temp file next to the target, rename on success: a
-  // crashed or concurrent writer can never leave a half-written pack
-  // under the final name.
+  // Stage to a writer-unique temp file next to the target, fsync, and
+  // rename on success: a crashed or concurrent writer can never leave a
+  // half-written pack under the final name, and the rename only happens
+  // once the bytes are on stable storage.
   std::error_code ec;
   const std::filesystem::path target(path);
   if (target.has_parent_path()) {
     std::filesystem::create_directories(target.parent_path(), ec);
   }
-  const std::string tmp = path + ".tmp";
+  const std::string tmp = StagingPath(path);
   {
     FilePtr f(std::fopen(tmp.c_str(), "wb"));
     if (!f) return IoResult::Error("cannot open " + tmp + " for writing");
@@ -373,7 +383,7 @@ IoResult WritePack(const std::string& path, const Graph& graph) {
            WriteBuffered(f.get(), payloads[i].data, payloads[i].bytes);
       pos = table[i].offset + table[i].bytes;
     }
-    if (!ok || std::fflush(f.get()) != 0) {
+    if (!ok || !FlushAndSync(f.get())) {
       f.reset();
       std::filesystem::remove(tmp, ec);
       return IoResult::Error("short write to " + tmp);
@@ -384,6 +394,7 @@ IoResult WritePack(const std::string& path, const Graph& graph) {
     std::filesystem::remove(tmp, ec);
     return IoResult::Error("cannot rename " + tmp + " to " + path);
   }
+  SyncParentDir(path);
   GORDER_OBS_INC(c_pack_write);
   GORDER_OBS_ADD(c_pack_write_bytes, offset);
   return IoResult::Ok();

@@ -9,6 +9,7 @@
 #include "gen/datasets.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "store/atomic_file.h"
 #include "store/fingerprint.h"
 #include "store/mapped_file.h"
 #include "util/crc32.h"
@@ -214,13 +215,14 @@ IoResult Store::SaveOrdering(std::uint64_t graph_fingerprint,
   if (target.has_parent_path()) {
     std::filesystem::create_directories(target.parent_path(), ec);
   }
-  const std::string tmp = path + ".tmp";
+  const std::string tmp = StagingPath(path);
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return IoResult::Error("cannot open " + tmp);
   bool ok = std::fwrite(&h, sizeof h, 1, f) == 1 &&
             (perm.empty() ||
              std::fwrite(perm.data(), sizeof(NodeId), perm.size(), f) ==
                  perm.size());
+  ok = ok && FlushAndSync(f);
   ok = std::fclose(f) == 0 && ok;
   if (!ok) {
     std::filesystem::remove(tmp, ec);
@@ -231,6 +233,7 @@ IoResult Store::SaveOrdering(std::uint64_t graph_fingerprint,
     std::filesystem::remove(tmp, ec);
     return IoResult::Error("cannot rename " + tmp + " to " + path);
   }
+  SyncParentDir(path);
   GORDER_OBS_INC(c_ordering_write);
   return IoResult::Ok();
 }

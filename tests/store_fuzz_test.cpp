@@ -189,6 +189,80 @@ TEST(GpackFuzz, WrongMagicAndVersionAreRejected) {
   }
 }
 
+// A crafted pack whose num_edges makes `m * sizeof(NodeId)` wrap to 0
+// (and whose neighbor sections are shrunk to zero bytes with the
+// matching CRC of the empty string) must be rejected by the edge-count
+// plausibility guard, *before* any payload is inspected. Without the
+// guard the wrapped expected size matches the zero-length sections,
+// every header-level check passes, and the CSR scan reads past the
+// mapping — plain-mmap out-of-bounds that not even ASan reliably
+// flags (adjacent mappings absorb the reads), hence the assertion on
+// the specific rejection reason rather than on a crash.
+TEST(GpackFuzz, HugeEdgeCountCannotWrapSectionSizeValidation) {
+  Graph g = SmallGraph();
+  TempFile tmp(TempPath("overflow") + ".gpack");
+  ASSERT_TRUE(store::WritePack(tmp.path, g).ok);
+  const std::vector<char> orig = ReadAll(tmp.path);
+  ASSERT_GT(orig.size(), 192u);  // 64-byte header + 4 * 32-byte entries
+
+  auto refresh_header_crc = [](std::vector<char>& bytes) {
+    // header_crc (offset 52) covers the 64-byte header with the field
+    // zeroed, then the section table.
+    std::uint32_t zero = 0;
+    std::memcpy(bytes.data() + 52, &zero, sizeof zero);
+    std::uint32_t crc = Crc32(bytes.data(), 64);
+    crc = Crc32(bytes.data() + 64, 4 * 32, crc);
+    std::memcpy(bytes.data() + 52, &crc, sizeof crc);
+  };
+
+  store::GpackInfo info;
+  ASSERT_TRUE(store::ReadPackInfo(tmp.path, &info).ok);
+
+  for (std::uint64_t m :
+       {std::uint64_t{1} << 62, std::uint64_t{1} << 63, ~std::uint64_t{0}}) {
+    SCOPED_TRACE(m);
+    std::vector<char> mut = orig;
+    std::memcpy(mut.data() + 32, &m, sizeof m);  // header num_edges
+    for (std::size_t i = 0; i < info.sections.size(); ++i) {
+      const auto& sec = info.sections[i];
+      char* entry = mut.data() + 64 + i * 32;
+      const bool neighbors = sec.id == 2 || sec.id == 4;
+      if (neighbors) {
+        // Shrink the neighbor section to zero bytes *at end of file*;
+        // CRC32 of the empty string is 0 and a zero-length extent at
+        // `size` passes the bounds check, so with a wrapped expected
+        // size these sections would pass every header-level check and
+        // the CSR scan's very first neighbor reads would land past the
+        // mapping.
+        const std::uint64_t eof = orig.size();
+        const std::uint64_t no_bytes = 0;
+        const std::uint32_t empty_crc = 0;
+        std::memcpy(entry + 8, &eof, sizeof eof);               // offset
+        std::memcpy(entry + 16, &no_bytes, sizeof no_bytes);    // bytes
+        std::memcpy(entry + 24, &empty_crc, sizeof empty_crc);  // crc32
+      } else {
+        // Rewrite the offsets payload to [0, m, m, ...] (with a fresh
+        // section CRC) so the CSR scan, if reached, would walk neighbor
+        // indices up to m — far past the mapping.
+        auto* off = reinterpret_cast<std::uint64_t*>(mut.data() + sec.offset);
+        for (std::size_t k = 1; k < sec.bytes / sizeof(std::uint64_t); ++k) {
+          off[k] = m;
+        }
+        const std::uint32_t crc = Crc32(mut.data() + sec.offset,
+                                        static_cast<std::size_t>(sec.bytes));
+        std::memcpy(entry + 24, &crc, sizeof crc);
+      }
+    }
+    refresh_header_crc(mut);
+    WriteAll(tmp.path, mut);
+    Graph loaded;
+    IoResult r = store::LoadPack(tmp.path, &loaded);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("implausible"), std::string::npos) << r.error;
+    EXPECT_FALSE(ProbeAllLoaders(tmp.path));
+  }
+}
+
 TEST(GpackFuzz, RandomByteStreamsNeverCrash) {
   TempFile tmp(TempPath("random") + ".gpack");
   Rng rng(2026);

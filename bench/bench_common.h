@@ -8,12 +8,33 @@
 #include <vector>
 
 #include "core/gorder_lib.h"
+#include "util/failpoint.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/table.h"
 #include "util/timer.h"
 
 namespace gorder::bench {
+
+/// Arms fault-injection points from a --failpoints=<spec> flag value.
+/// In a -DGORDER_FAILPOINTS=ON build a bad spec (syntax error, unknown
+/// point name) is fatal; in a normal build the flag itself is fatal, so
+/// a fault-injection experiment can never silently run fault-free.
+inline void ArmFailpointsFlag(const std::string& spec) {
+  if (spec.empty()) return;
+#if defined(GORDER_FAILPOINTS_ENABLED)
+  std::string error;
+  if (!util::ArmFailpointsFromSpec(spec, &error)) {
+    std::fprintf(stderr, "--failpoints: %s\n", error.c_str());
+    std::exit(2);
+  }
+#else
+  std::fprintf(stderr,
+               "--failpoints requires a -DGORDER_FAILPOINTS=ON build; "
+               "this binary has fault injection compiled out\n");
+  std::exit(2);
+#endif
+}
 
 /// Process-wide artifact store, configured once by `--store-dir` at
 /// flag-parse time. Null when the run is storeless (the default); all
@@ -48,6 +69,8 @@ inline void SetActiveStore(const std::string& dir) {
 ///                    cached as .gperm artifacts keyed by graph
 ///                    fingerprint + params, so repeat runs skip both
 ///                    generation and Gorder recomputation
+///   --failpoints=<s> arm fault-injection points (DESIGN.md §14); only
+///                    valid in a -DGORDER_FAILPOINTS=ON build
 ///   --help           print this option summary and exit
 struct BenchOptions {
   double scale = 1.0;
@@ -83,6 +106,9 @@ struct BenchOptions {
         "                   are cached per graph fingerprint, so warm\n"
         "                   runs skip generation and ordering "
         "computation\n"
+        "  --failpoints=<s> arm fault-injection points, e.g.\n"
+        "                   store.pack_write.write=err@2 (needs a\n"
+        "                   -DGORDER_FAILPOINTS=ON build)\n"
         "  --help           print this summary and exit\n"
         "\n"
         "Individual binaries accept extra flags; see the header comment\n"
@@ -109,6 +135,7 @@ struct BenchOptions {
     opt.trace_out = flags.GetString("trace-out", "");
     opt.store_dir = flags.GetString("store-dir", "");
     if (!opt.store_dir.empty()) SetActiveStore(opt.store_dir);
+    ArmFailpointsFlag(flags.GetString("failpoints", ""));
     std::string names = flags.GetString("datasets", "");
     if (names.empty()) {
       for (const auto& spec : gen::AllDatasets()) {

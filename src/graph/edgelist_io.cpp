@@ -4,15 +4,32 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "obs/trace.h"
+#include "util/atomic_file.h"
+#include "util/failpoint.h"
 #include "util/parallel.h"
 
 namespace gorder {
 
 namespace {
+
+GORDER_FAILPOINT_DEFINE(fp_read_open, "graph.read_edgelist.open");
+GORDER_FAILPOINT_DEFINE(fp_read_stat, "graph.read_edgelist.stat");
+GORDER_FAILPOINT_DEFINE(fp_read_read, "graph.read_edgelist.read");
+GORDER_FAILPOINT_DEFINE(fp_read_alloc, "graph.read_edgelist.alloc");
+GORDER_FAILPOINT_DEFINE(fp_write_open, "graph.write_edgelist.open");
+GORDER_FAILPOINT_DEFINE(fp_write_write, "graph.write_edgelist.write");
+GORDER_FAILPOINT_DEFINE(fp_wbin_open, "graph.write_binary.open");
+GORDER_FAILPOINT_DEFINE(fp_wbin_write, "graph.write_binary.write");
+GORDER_FAILPOINT_DEFINE(fp_rbin_open, "graph.read_binary.open");
+GORDER_FAILPOINT_DEFINE(fp_rbin_stat, "graph.read_binary.stat");
+GORDER_FAILPOINT_DEFINE(fp_rbin_read, "graph.read_binary.read");
+GORDER_FAILPOINT_DEFINE(fp_rbin_alloc, "graph.read_binary.alloc");
 
 constexpr char kBinaryMagic[8] = {'G', 'O', 'R', 'D', 'E', 'R', '0', '1'};
 
@@ -102,17 +119,30 @@ std::size_t LineNumberAt(const std::vector<char>& data, std::size_t offset) {
 
 IoResult ReadEdgeList(const std::string& path, Graph* graph) {
   GORDER_OBS_SPAN(span, "io.read_edgelist");
+  if (GORDER_FAILPOINT(fp_read_open) != util::FaultKind::kNone) {
+    return IoResult::Error("cannot open " + path);
+  }
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return IoResult::Error("cannot open " + path);
-  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+  if (GORDER_FAILPOINT(fp_read_stat) != util::FaultKind::kNone ||
+      std::fseek(f.get(), 0, SEEK_END) != 0) {
     return IoResult::Error("cannot seek " + path);
   }
   long size = std::ftell(f.get());
   if (size < 0) return IoResult::Error("cannot stat " + path);
   std::rewind(f.get());
-  std::vector<char> data(static_cast<std::size_t>(size));
+  std::vector<char> data;
+  try {
+    GORDER_FAULT_ALLOC(fp_read_alloc);
+    data.resize(static_cast<std::size_t>(size));
+  } catch (const std::bad_alloc&) {
+    return IoResult::Error("cannot allocate " + std::to_string(size) +
+                           " bytes reading " + path);
+  }
   if (!data.empty() &&
-      std::fread(data.data(), 1, data.size(), f.get()) != data.size()) {
+      GORDER_FAULT_IO(fp_read_read, data.size(),
+                      std::fread(data.data(), 1, data.size(), f.get())) !=
+          data.size()) {
     return IoResult::Error("short read from " + path);
   }
   f.reset();
@@ -196,10 +226,24 @@ inline std::size_t AppendU32(char* buf, std::size_t pos, std::uint32_t v) {
 
 IoResult WriteEdgeList(const std::string& path, const Graph& graph) {
   GORDER_OBS_SPAN(span, "io.write_edgelist");
-  FilePtr f(std::fopen(path.c_str(), "w"));
-  if (!f) return IoResult::Error("cannot open " + path + " for writing");
-  std::fprintf(f.get(), "# Directed graph: %u nodes, %" PRIu64 " edges\n",
-               graph.NumNodes(), graph.NumEdges());
+  // Stage + rename like every other artifact writer: a failed or
+  // crashed write never leaves a truncated edge list at the final path.
+  const std::string tmp = util::StagingPath(path);
+  if (GORDER_FAILPOINT(fp_write_open) != util::FaultKind::kNone) {
+    return IoResult::Error("cannot open " + tmp + " for writing");
+  }
+  FilePtr f(std::fopen(tmp.c_str(), "w"));
+  if (!f) return IoResult::Error("cannot open " + tmp + " for writing");
+  auto fail = [&] {
+    f.reset();
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return IoResult::Error("short write to " + tmp);
+  };
+  if (std::fprintf(f.get(), "# Directed graph: %u nodes, %" PRIu64 " edges\n",
+                   graph.NumNodes(), graph.NumEdges()) < 0) {
+    return fail();
+  }
   // Buffered formatting: one fwrite per ~1MB instead of one fprintf per
   // edge ("src dst\n" needs at most 22 bytes).
   std::vector<char> buf(1 << 20);
@@ -207,8 +251,9 @@ IoResult WriteEdgeList(const std::string& path, const Graph& graph) {
   for (NodeId v = 0; v < graph.NumNodes(); ++v) {
     for (NodeId w : graph.OutNeighbors(v)) {
       if (pos + 24 > buf.size()) {
-        if (std::fwrite(buf.data(), 1, pos, f.get()) != pos) {
-          return IoResult::Error("short write to " + path);
+        if (GORDER_FAULT_IO(fp_write_write, pos,
+                            std::fwrite(buf.data(), 1, pos, f.get())) != pos) {
+          return fail();
         }
         pos = 0;
       }
@@ -218,52 +263,107 @@ IoResult WriteEdgeList(const std::string& path, const Graph& graph) {
       buf[pos++] = '\n';
     }
   }
-  if (pos > 0 && std::fwrite(buf.data(), 1, pos, f.get()) != pos) {
-    return IoResult::Error("short write to " + path);
+  if (pos > 0 &&
+      GORDER_FAULT_IO(fp_write_write, pos,
+                      std::fwrite(buf.data(), 1, pos, f.get())) != pos) {
+    return fail();
   }
-  return IoResult::Ok();
+  if (!util::FlushAndSync(f.get())) return fail();
+  f.reset();
+  return util::CommitStagedFile(tmp, path);
 }
 
 IoResult WriteBinary(const std::string& path, const Graph& graph) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return IoResult::Error("cannot open " + path + " for writing");
+  const std::string tmp = util::StagingPath(path);
+  if (GORDER_FAILPOINT(fp_wbin_open) != util::FaultKind::kNone) {
+    return IoResult::Error("cannot open " + tmp + " for writing");
+  }
+  FilePtr f(std::fopen(tmp.c_str(), "wb"));
+  if (!f) return IoResult::Error("cannot open " + tmp + " for writing");
   std::uint64_t n = graph.NumNodes();
   std::uint64_t m = graph.NumEdges();
-  bool ok = std::fwrite(kBinaryMagic, 1, 8, f.get()) == 8 &&
-            std::fwrite(&n, sizeof n, 1, f.get()) == 1 &&
-            std::fwrite(&m, sizeof m, 1, f.get()) == 1;
+  auto write_raw = [&](const void* data, std::size_t item_bytes,
+                       std::size_t items) {
+    return GORDER_FAULT_IO(fp_wbin_write, items,
+                           std::fwrite(data, item_bytes, items, f.get())) ==
+           items;
+  };
+  bool ok = write_raw(kBinaryMagic, 1, 8) && write_raw(&n, sizeof n, 1) &&
+            write_raw(&m, sizeof m, 1);
   auto write_vec = [&](const auto& v) {
-    return v.empty() ||
-           std::fwrite(v.data(), sizeof(v[0]), v.size(), f.get()) == v.size();
+    return v.empty() || write_raw(v.data(), sizeof(v[0]), v.size());
   };
   ok = ok && write_vec(graph.out_offsets()) && write_vec(graph.out_neighbors());
-  if (!ok) return IoResult::Error("short write to " + path);
-  return IoResult::Ok();
+  ok = ok && util::FlushAndSync(f.get());
+  if (!ok) {
+    f.reset();
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return IoResult::Error("short write to " + tmp);
+  }
+  f.reset();
+  return util::CommitStagedFile(tmp, path);
 }
 
 IoResult ReadBinary(const std::string& path, Graph* graph) {
+  if (GORDER_FAILPOINT(fp_rbin_open) != util::FaultKind::kNone) {
+    return IoResult::Error("cannot open " + path);
+  }
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return IoResult::Error("cannot open " + path);
+  // File size first: the n/m header fields are untrusted and must be
+  // bounded against it before they size any allocation.
+  if (GORDER_FAILPOINT(fp_rbin_stat) != util::FaultKind::kNone ||
+      std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return IoResult::Error("cannot seek " + path);
+  }
+  const long ssize = std::ftell(f.get());
+  if (ssize < 0) return IoResult::Error("cannot stat " + path);
+  std::rewind(f.get());
+  const auto file_bytes = static_cast<std::uint64_t>(ssize);
   char magic[8];
   std::uint64_t n = 0, m = 0;
-  if (std::fread(magic, 1, 8, f.get()) != 8 ||
-      std::memcmp(magic, kBinaryMagic, 8) != 0) {
+  auto read_raw = [&](void* data, std::size_t item_bytes, std::size_t items) {
+    return GORDER_FAULT_IO(fp_rbin_read, items,
+                           std::fread(data, item_bytes, items, f.get())) ==
+           items;
+  };
+  if (!read_raw(magic, 1, 8) || std::memcmp(magic, kBinaryMagic, 8) != 0) {
     return IoResult::Error(path + ": bad magic (not a gorder binary graph)");
   }
-  if (std::fread(&n, sizeof n, 1, f.get()) != 1 ||
-      std::fread(&m, sizeof m, 1, f.get()) != 1) {
+  if (!read_raw(&n, sizeof n, 1) || !read_raw(&m, sizeof m, 1)) {
     return IoResult::Error(path + ": truncated header");
   }
   if (n > 0xFFFFFFFFULL) return IoResult::Error(path + ": node count too big");
-  std::vector<EdgeId> offsets(n + 1);
-  std::vector<NodeId> neigh(m);
-  if (std::fread(offsets.data(), sizeof(EdgeId), offsets.size(), f.get()) !=
-      offsets.size()) {
+  // Bound both counts by what the file could possibly hold before
+  // allocating: a crafted header with m near 2^62 would otherwise ask
+  // std::vector for a multi-exabyte buffer (bad_alloc at best, OOM kill
+  // at worst) before any other check runs. n is capped above, so
+  // (n + 1) * sizeof(EdgeId) cannot wrap; m is divided, not multiplied,
+  // so the comparison cannot wrap either.
+  constexpr std::uint64_t kHeaderBytes = 8 + sizeof n + sizeof m;
+  const std::uint64_t payload_bytes =
+      file_bytes > kHeaderBytes ? file_bytes - kHeaderBytes : 0;
+  const std::uint64_t offsets_bytes = (n + 1) * sizeof(EdgeId);
+  if (offsets_bytes > payload_bytes) {
+    return IoResult::Error(path + ": node count implausible for file size");
+  }
+  if (m > (payload_bytes - offsets_bytes) / sizeof(NodeId)) {
+    return IoResult::Error(path + ": edge count implausible for file size");
+  }
+  std::vector<EdgeId> offsets;
+  std::vector<NodeId> neigh;
+  try {
+    GORDER_FAULT_ALLOC(fp_rbin_alloc);
+    offsets.resize(n + 1);
+    neigh.resize(m);
+  } catch (const std::bad_alloc&) {
+    return IoResult::Error(path + ": cannot allocate CSR buffers");
+  }
+  if (!read_raw(offsets.data(), sizeof(EdgeId), offsets.size())) {
     return IoResult::Error(path + ": truncated offsets");
   }
-  if (m > 0 &&
-      std::fread(neigh.data(), sizeof(NodeId), neigh.size(), f.get()) !=
-          neigh.size()) {
+  if (m > 0 && !read_raw(neigh.data(), sizeof(NodeId), neigh.size())) {
     return IoResult::Error(path + ": truncated neighbours");
   }
   if (offsets[0] != 0 || offsets[n] != m) {

@@ -4,20 +4,9 @@
 #include <string>
 
 #include "graph/graph.h"
+#include "util/io_result.h"  // IoResult (shared by every IO layer)
 
 namespace gorder {
-
-/// Result wrapper for I/O entry points (these can legitimately fail on
-/// user input, so unlike internal invariants they do not abort).
-struct IoResult {
-  bool ok = true;
-  std::string error;
-
-  static IoResult Ok() { return {}; }
-  static IoResult Error(std::string message) {
-    return {false, std::move(message)};
-  }
-};
 
 /// Reads a whitespace-separated directed edge list ("src dst" per line,
 /// '#' and '%' comment lines skipped — the SNAP and Konect conventions).
@@ -30,12 +19,16 @@ struct IoResult {
 IoResult ReadEdgeList(const std::string& path, Graph* graph);
 
 /// Writes "src dst" lines with a SNAP-style header comment, through a
-/// ~1MB formatting buffer (one fwrite per buffer, not per edge).
+/// ~1MB formatting buffer (one fwrite per buffer, not per edge). Writes
+/// stage to a temp file and rename into place (util/atomic_file), so a
+/// failure never leaves a truncated file at `path`.
 IoResult WriteEdgeList(const std::string& path, const Graph& graph);
 
 /// Binary format: magic, counts, then raw CSR arrays. Round-trips exactly
 /// and loads without re-sorting; used to cache generated datasets between
-/// benchmark runs.
+/// benchmark runs. The header counts are validated against the file size
+/// before sizing any allocation; writes are staged + renamed like
+/// WriteEdgeList.
 IoResult ReadBinary(const std::string& path, Graph* graph);
 IoResult WriteBinary(const std::string& path, const Graph& graph);
 

@@ -17,6 +17,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -280,17 +281,13 @@ bool WriteRunArtifacts() {
   }
   bool ok = true;
   if (!options.json_out.empty()) {
-    std::string report = RenderRunReportJson();
-    std::FILE* f = std::fopen(options.json_out.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "obs: cannot write %s\n",
-                   options.json_out.c_str());
+    IoResult r = util::WriteFileAtomic(options.json_out,
+                                       RenderRunReportJson());
+    if (!r.ok) {
+      std::fprintf(stderr, "obs: cannot write %s: %s\n",
+                   options.json_out.c_str(), r.error.c_str());
       ok = false;
     } else {
-      ok = std::fwrite(report.data(), 1, report.size(), f) ==
-               report.size() &&
-           ok;
-      ok = std::fclose(f) == 0 && ok;
       GORDER_LOG_INFO("run report written to %s\n",
                       options.json_out.c_str());
     }

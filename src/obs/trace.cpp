@@ -8,6 +8,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "util/atomic_file.h"
 
 namespace gorder::obs {
 
@@ -186,13 +187,9 @@ std::string RenderChromeTraceJson() {
 }
 
 bool WriteChromeTrace(const std::string& path) {
-  std::string contents = RenderChromeTraceJson();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  bool ok = std::fwrite(contents.data(), 1, contents.size(), f) ==
-            contents.size();
-  ok = std::fclose(f) == 0 && ok;
-  return ok;
+  // Staged + renamed (util/atomic_file): a failed write never leaves a
+  // truncated trace a viewer would choke on at the final path.
+  return util::WriteFileAtomic(path, RenderChromeTraceJson()).ok;
 }
 
 }  // namespace gorder::obs

@@ -6,18 +6,24 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <new>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "store/atomic_file.h"
 #include "store/fingerprint.h"
 #include "store/mapped_file.h"
+#include "util/atomic_file.h"
 #include "util/crc32.h"
+#include "util/failpoint.h"
 #include "util/parallel.h"
 
 namespace gorder::store {
 
 namespace {
+
+GORDER_FAILPOINT_DEFINE(fp_pack_open, "store.pack_write.open");
+GORDER_FAILPOINT_DEFINE(fp_pack_write, "store.pack_write.write");
+GORDER_FAILPOINT_DEFINE(fp_pack_load_alloc, "store.pack_load.alloc");
 
 // The on-disk layout is little-endian by definition; the structs below
 // are written/read as raw bytes, which is only correct on LE hosts.
@@ -105,7 +111,10 @@ bool WriteBuffered(std::FILE* f, const void* data, std::uint64_t bytes) {
   const char* p = static_cast<const char*>(data);
   while (bytes > 0) {
     std::size_t step = static_cast<std::size_t>(std::min(bytes, kChunk));
-    if (std::fwrite(p, 1, step, f) != step) return false;
+    if (GORDER_FAULT_IO(fp_pack_write, step, std::fwrite(p, 1, step, f)) !=
+        step) {
+      return false;
+    }
     p += step;
     bytes -= step;
   }
@@ -117,7 +126,10 @@ bool WriteZeros(std::FILE* f, std::uint64_t bytes) {
   while (bytes > 0) {
     std::size_t step = static_cast<std::size_t>(
         std::min<std::uint64_t>(bytes, sizeof zeros));
-    if (std::fwrite(zeros, 1, step, f) != step) return false;
+    if (GORDER_FAULT_IO(fp_pack_write, step, std::fwrite(zeros, 1, step, f)) !=
+        step) {
+      return false;
+    }
     bytes -= step;
   }
   return true;
@@ -369,13 +381,21 @@ IoResult WritePack(const std::string& path, const Graph& graph) {
   if (target.has_parent_path()) {
     std::filesystem::create_directories(target.parent_path(), ec);
   }
-  const std::string tmp = StagingPath(path);
+  const std::string tmp = util::StagingPath(path);
+  if (GORDER_FAILPOINT(fp_pack_open) != util::FaultKind::kNone) {
+    return IoResult::Error("cannot open " + tmp + " for writing");
+  }
   {
     FilePtr f(std::fopen(tmp.c_str(), "wb"));
     if (!f) return IoResult::Error("cannot open " + tmp + " for writing");
-    bool ok = std::fwrite(&header, sizeof header, 1, f.get()) == 1 &&
-              std::fwrite(table.data(), sizeof(GpackSectionEntry),
-                          table.size(), f.get()) == table.size();
+    bool ok = GORDER_FAULT_IO(fp_pack_write, 1,
+                              std::fwrite(&header, sizeof header, 1,
+                                          f.get())) == 1 &&
+              GORDER_FAULT_IO(fp_pack_write, table.size(),
+                              std::fwrite(table.data(),
+                                          sizeof(GpackSectionEntry),
+                                          table.size(), f.get())) ==
+                  table.size();
     std::uint64_t pos =
         sizeof(GpackHeader) + table.size() * sizeof(GpackSectionEntry);
     for (std::size_t i = 0; ok && i < 4; ++i) {
@@ -383,18 +403,13 @@ IoResult WritePack(const std::string& path, const Graph& graph) {
            WriteBuffered(f.get(), payloads[i].data, payloads[i].bytes);
       pos = table[i].offset + table[i].bytes;
     }
-    if (!ok || !FlushAndSync(f.get())) {
+    if (!ok || !util::FlushAndSync(f.get())) {
       f.reset();
       std::filesystem::remove(tmp, ec);
       return IoResult::Error("short write to " + tmp);
     }
   }
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    return IoResult::Error("cannot rename " + tmp + " to " + path);
-  }
-  SyncParentDir(path);
+  if (IoResult r = util::CommitStagedFile(tmp, path); !r.ok) return r;
   GORDER_OBS_INC(c_pack_write);
   GORDER_OBS_ADD(c_pack_write_bytes, offset);
   return IoResult::Ok();
@@ -428,11 +443,16 @@ IoResult LoadPack(const std::string& path, Graph* graph, LoadMode mode) {
     GORDER_OBS_INC(c_mmap_load);
     GORDER_OBS_ADD(c_mmap_load_bytes, file->size());
   } else {
-    *graph = Graph::FromMapped(
-        n, ArrayRef<EdgeId>(std::vector<EdgeId>(out_off, out_off + n_off)),
-        ArrayRef<NodeId>(std::vector<NodeId>(out_nbr, out_nbr + count)),
-        ArrayRef<EdgeId>(std::vector<EdgeId>(in_off, in_off + n_off)),
-        ArrayRef<NodeId>(std::vector<NodeId>(in_nbr, in_nbr + count)));
+    try {
+      GORDER_FAULT_ALLOC(fp_pack_load_alloc);
+      *graph = Graph::FromMapped(
+          n, ArrayRef<EdgeId>(std::vector<EdgeId>(out_off, out_off + n_off)),
+          ArrayRef<NodeId>(std::vector<NodeId>(out_nbr, out_nbr + count)),
+          ArrayRef<EdgeId>(std::vector<EdgeId>(in_off, in_off + n_off)),
+          ArrayRef<NodeId>(std::vector<NodeId>(in_nbr, in_nbr + count)));
+    } catch (const std::bad_alloc&) {
+      return IoResult::Error(path + ": cannot allocate CSR copy buffers");
+    }
     GORDER_OBS_INC(c_copy_load);
   }
   return IoResult::Ok();

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/failpoint.h"
+
 #if defined(__linux__) || defined(__APPLE__)
 #define GORDER_STORE_HAS_MMAP 1
 #include <fcntl.h>
@@ -13,20 +15,32 @@
 
 namespace gorder::store {
 
+namespace {
+GORDER_FAILPOINT_DEFINE(fp_map_open, "store.map.open");
+GORDER_FAILPOINT_DEFINE(fp_map_stat, "store.map.stat");
+GORDER_FAILPOINT_DEFINE(fp_map_mmap, "store.map.mmap");
+}  // namespace
+
 IoResult MappedFile::Map(const std::string& path,
                          std::shared_ptr<MappedFile>* out) {
   auto file = std::shared_ptr<MappedFile>(new MappedFile());
 #ifdef GORDER_STORE_HAS_MMAP
+  if (GORDER_FAILPOINT(fp_map_open) != util::FaultKind::kNone) {
+    return IoResult::Error("cannot open " + path);
+  }
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return IoResult::Error("cannot open " + path);
   struct stat st;
-  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+  if (GORDER_FAILPOINT(fp_map_stat) != util::FaultKind::kNone ||
+      ::fstat(fd, &st) != 0 || st.st_size < 0) {
     ::close(fd);
     return IoResult::Error("cannot stat " + path);
   }
   const auto size = static_cast<std::size_t>(st.st_size);
   if (size > 0) {
-    void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    void* p = GORDER_FAILPOINT(fp_map_mmap) != util::FaultKind::kNone
+                  ? MAP_FAILED
+                  : ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
     if (p == MAP_FAILED) {
       ::close(fd);
       return IoResult::Error("cannot mmap " + path);

@@ -5,20 +5,27 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <new>
 
 #include "gen/datasets.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "store/atomic_file.h"
 #include "store/fingerprint.h"
 #include "store/mapped_file.h"
+#include "util/atomic_file.h"
 #include "util/crc32.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace gorder::store {
 
 namespace {
+
+GORDER_FAILPOINT_DEFINE(fp_ord_open, "store.ordering_write.open");
+GORDER_FAILPOINT_DEFINE(fp_ord_write, "store.ordering_write.write");
+GORDER_FAILPOINT_DEFINE(fp_ord_close, "store.ordering_write.close");
+GORDER_FAILPOINT_DEFINE(fp_ord_load_alloc, "store.ordering_load.alloc");
 
 static_assert(std::endian::native == std::endian::little,
               "gperm I/O assumes a little-endian host");
@@ -184,7 +191,13 @@ bool Store::LoadOrdering(std::uint64_t graph_fingerprint,
   if (Crc32(perm_data, static_cast<std::size_t>(perm_bytes)) != h.perm_crc) {
     return miss("permutation checksum");
   }
-  out->perm.assign(perm_data, perm_data + h.num_nodes);
+  try {
+    GORDER_FAULT_ALLOC(fp_ord_load_alloc);
+    out->perm.assign(perm_data, perm_data + h.num_nodes);
+  } catch (const std::bad_alloc&) {
+    out->perm.clear();
+    return miss("cannot allocate permutation buffer");
+  }
   if (!IsPermutation(out->perm, num_nodes)) {
     out->perm.clear();
     return miss("payload is not a permutation");
@@ -215,25 +228,25 @@ IoResult Store::SaveOrdering(std::uint64_t graph_fingerprint,
   if (target.has_parent_path()) {
     std::filesystem::create_directories(target.parent_path(), ec);
   }
-  const std::string tmp = StagingPath(path);
+  const std::string tmp = util::StagingPath(path);
+  if (GORDER_FAILPOINT(fp_ord_open) != util::FaultKind::kNone) {
+    return IoResult::Error("cannot open " + tmp);
+  }
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return IoResult::Error("cannot open " + tmp);
-  bool ok = std::fwrite(&h, sizeof h, 1, f) == 1 &&
+  bool ok = GORDER_FAULT_IO(fp_ord_write, 1,
+                            std::fwrite(&h, sizeof h, 1, f)) == 1 &&
             (perm.empty() ||
-             std::fwrite(perm.data(), sizeof(NodeId), perm.size(), f) ==
-                 perm.size());
-  ok = ok && FlushAndSync(f);
-  ok = std::fclose(f) == 0 && ok;
+             GORDER_FAULT_IO(fp_ord_write, perm.size(),
+                             std::fwrite(perm.data(), sizeof(NodeId),
+                                         perm.size(), f)) == perm.size());
+  ok = ok && util::FlushAndSync(f);
+  ok = GORDER_FAULT_OK(fp_ord_close, std::fclose(f) == 0) && ok;
   if (!ok) {
     std::filesystem::remove(tmp, ec);
     return IoResult::Error("short write to " + tmp);
   }
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    return IoResult::Error("cannot rename " + tmp + " to " + path);
-  }
-  SyncParentDir(path);
+  if (IoResult r = util::CommitStagedFile(tmp, path); !r.ok) return r;
   GORDER_OBS_INC(c_ordering_write);
   return IoResult::Ok();
 }

@@ -17,17 +17,22 @@ namespace {
 
 std::int64_t ParseIntStrict(const std::string& key,
                             const std::string& value) {
-  const char* s = value.c_str();
-  char* end = nullptr;
-  errno = 0;
-  long long v = std::strtoll(s, &end, 10);
-  if (end == s || *end != '\0' || errno == ERANGE) {
-    BadValue(key, value, "integer");
-  }
+  std::int64_t v = 0;
+  if (!ParseInt64(value, &v)) BadValue(key, value, "integer");
   return v;
 }
 
 }  // namespace
+
+bool ParseInt64(const std::string& text, std::int64_t* out) {
+  const char* s = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {

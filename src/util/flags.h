@@ -8,6 +8,13 @@
 
 namespace gorder {
 
+/// Strict base-10 integer parse: the whole string must be a number (no
+/// empty input, no trailing garbage, no overflow). Returns false without
+/// touching *out on failure. Shared by the flag parser and by env-var
+/// consumers like GORDER_THREADS so every numeric knob rejects typos the
+/// same way instead of silently truncating ("4x" -> 4).
+bool ParseInt64(const std::string& text, std::int64_t* out);
+
 /// Tiny `--key=value` / `--flag` command-line parser for the benchmark and
 /// example binaries. Unknown positional arguments are rejected so typos in
 /// experiment scripts fail loudly instead of silently running defaults —

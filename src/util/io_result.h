@@ -1,0 +1,25 @@
+#ifndef GORDER_UTIL_IO_RESULT_H_
+#define GORDER_UTIL_IO_RESULT_H_
+
+#include <string>
+#include <utility>
+
+namespace gorder {
+
+/// Outcome of a fallible IO operation. Every filesystem-touching layer
+/// (graph IO, the store, the obs artifact writers) reports environment
+/// failures through this — never UB, an abort, or a partial artifact at
+/// a final path (DESIGN.md §14).
+struct IoResult {
+  bool ok = true;
+  std::string error;
+
+  static IoResult Ok() { return {}; }
+  static IoResult Error(std::string message) {
+    return {false, std::move(message)};
+  }
+};
+
+}  // namespace gorder
+
+#endif  // GORDER_UTIL_IO_RESULT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/flags.h"
 
 namespace gorder {
 
@@ -34,9 +36,18 @@ GORDER_OBS_GAUGE(g_pool_threads, "pool.threads");
 GORDER_OBS_HISTOGRAM(h_chunks_per_call, "pool.chunks_per_call");
 
 int DefaultNumThreads() {
+  // GORDER_THREADS is parsed with the same strict parser as --threads:
+  // "4x" or "two" used to atoi-truncate to 4 / silently mean "auto",
+  // turning a typo into a different experiment. Malformed or
+  // non-positive values are fatal instead.
   if (const char* env = std::getenv("GORDER_THREADS")) {
-    int n = std::atoi(env);
-    if (n >= 1) return n;
+    std::int64_t n = 0;
+    if (!ParseInt64(env, &n) || n < 1) {
+      std::fprintf(stderr,
+                   "GORDER_THREADS: '%s' is not a positive integer\n", env);
+      std::exit(2);
+    }
+    return static_cast<int>(n);
   }
   unsigned hw = std::thread::hardware_concurrency();
   return hw >= 1 ? static_cast<int>(hw) : 1;

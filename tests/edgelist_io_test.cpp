@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -134,6 +135,50 @@ TEST_F(IoTest, BinaryTruncatedRejected) {
   std::filesystem::resize_file(Path("full.bin"), size / 2);
   Graph h;
   EXPECT_FALSE(ReadBinary(Path("full.bin"), &h).ok);
+}
+
+// Regression: the header's node/edge counts are attacker-controlled and
+// used to size allocations. A crafted header with m near 2^62 used to
+// ask std::vector for a multi-exabyte buffer before any other check ran
+// (bad_alloc at best, OOM-killed test runner at worst); both counts must
+// be bounded against the actual file size before anything is allocated.
+TEST_F(IoTest, BinaryCraftedHeaderCountsRejectedBeforeAllocating) {
+  auto write_header = [&](const std::string& name, std::uint64_t n,
+                          std::uint64_t m) {
+    std::ofstream out(Path(name), std::ios::binary);
+    out.write("GORDER01", 8);
+    out.write(reinterpret_cast<const char*>(&n), sizeof n);
+    out.write(reinterpret_cast<const char*>(&m), sizeof m);
+    // A sliver of payload so the file is not just a truncated header.
+    const std::uint64_t zero = 0;
+    out.write(reinterpret_cast<const char*>(&zero), sizeof zero);
+  };
+  Graph g;
+  write_header("huge_m.bin", 0, std::uint64_t{1} << 61);
+  IoResult r = ReadBinary(Path("huge_m.bin"), &g);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("implausible"), std::string::npos) << r.error;
+
+  write_header("huge_n.bin", 0xFFFFFFFFULL, 0);
+  r = ReadBinary(Path("huge_n.bin"), &g);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("implausible"), std::string::npos) << r.error;
+
+  write_header("too_big_n.bin", std::uint64_t{1} << 33, 0);
+  EXPECT_FALSE(ReadBinary(Path("too_big_n.bin"), &g).ok);
+}
+
+// The writers stage to a temp file and rename into place; a successful
+// write must leave exactly the final file, no `.tmp.*` debris.
+TEST_F(IoTest, WritersLeaveNoStagingDebris) {
+  Rng rng(4);
+  Graph g = gen::BarabasiAlbert(50, 2, rng);
+  ASSERT_TRUE(WriteEdgeList(Path("clean.txt"), g).ok);
+  ASSERT_TRUE(WriteBinary(Path("clean.bin"), g).ok);
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
+        << entry.path();
+  }
 }
 
 TEST_F(IoTest, EmptyGraphRoundTrips) {

@@ -1,0 +1,222 @@
+// Unit tests for the deterministic fault-injection framework
+// (src/util/failpoint.h, DESIGN.md §14): spec-grammar parsing, Nth-hit
+// and sticky arming semantics, arm-resets-the-counter, all-or-nothing
+// spec application, counter snapshots, and the transfer/bool fault
+// adapters. In a default build (failpoints compiled out) everything but
+// the macro smoke test skips — and the smoke test doubles as proof that
+// instrumented code compiles and behaves identically with the framework
+// absent.
+
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace gorder {
+namespace {
+
+// Registers two test-only points at static init, exactly like the
+// instrumented IO code does.
+GORDER_FAILPOINT_DEFINE(fp_unit_a, "test.failpoint.a");
+GORDER_FAILPOINT_DEFINE(fp_unit_b, "test.failpoint.b");
+
+// Compiles in both build modes. With failpoints compiled out the macros
+// must pass values through untouched; compiled in but disarmed they must
+// do the same.
+TEST(FailpointMacros, DisarmedOrCompiledOutArePassThrough) {
+  EXPECT_EQ(GORDER_FAILPOINT(fp_unit_a), util::FaultKind::kNone);
+  EXPECT_EQ(GORDER_FAULT_IO(fp_unit_a, 8, static_cast<std::size_t>(8)),
+            static_cast<std::size_t>(8));
+  EXPECT_TRUE(GORDER_FAULT_OK(fp_unit_a, true));
+  EXPECT_FALSE(GORDER_FAULT_OK(fp_unit_a, false));
+  GORDER_FAULT_ALLOC(fp_unit_a);  // must not throw
+}
+
+#if defined(GORDER_FAILPOINTS_ENABLED)
+
+std::uint64_t FiresOf(const std::string& name) {
+  for (const auto& info : util::SnapshotFailpoints()) {
+    if (info.name == name) return info.fires;
+  }
+  ADD_FAILURE() << "unregistered failpoint " << name;
+  return 0;
+}
+
+std::uint64_t HitsOf(const std::string& name) {
+  for (const auto& info : util::SnapshotFailpoints()) {
+    if (info.name == name) return info.hits;
+  }
+  ADD_FAILURE() << "unregistered failpoint " << name;
+  return 0;
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::DisarmAllFailpoints();
+    util::ResetFailpointCounters();
+  }
+  void TearDown() override { util::DisarmAllFailpoints(); }
+};
+
+TEST_F(FailpointTest, StaticInitRegistersNamespaceScopeHandles) {
+  std::vector<std::string> names = util::RegisteredFailpoints();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.failpoint.a"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.failpoint.b"),
+            names.end());
+  // Note: only TUs the linker pulls in register their points — this
+  // binary never references the IO surfaces, so store.*/graph.* points
+  // are absent here. Binaries that *use* an instrumented surface always
+  // link its TU, which is exactly the coverage that matters; the fault
+  // sweep asserts it over the full pipeline.
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST_F(FailpointTest, FiresOnExactlyTheNthHit) {
+  ASSERT_TRUE(
+      util::ArmFailpoint("test.failpoint.a", util::FaultKind::kError, 3));
+  EXPECT_EQ(fp_unit_a.Check(), util::FaultKind::kNone);
+  EXPECT_EQ(fp_unit_a.Check(), util::FaultKind::kNone);
+  EXPECT_EQ(fp_unit_a.Check(), util::FaultKind::kError);
+  EXPECT_EQ(fp_unit_a.Check(), util::FaultKind::kNone);  // not sticky
+  EXPECT_EQ(HitsOf("test.failpoint.a"), 4u);
+  EXPECT_EQ(FiresOf("test.failpoint.a"), 1u);
+}
+
+TEST_F(FailpointTest, StickyFiresOnEveryHitFromTheNth) {
+  ASSERT_TRUE(util::ArmFailpoint("test.failpoint.a", util::FaultKind::kShort,
+                                 2, /*sticky=*/true));
+  EXPECT_EQ(fp_unit_a.Check(), util::FaultKind::kNone);
+  EXPECT_EQ(fp_unit_a.Check(), util::FaultKind::kShort);
+  EXPECT_EQ(fp_unit_a.Check(), util::FaultKind::kShort);
+  EXPECT_EQ(FiresOf("test.failpoint.a"), 2u);
+}
+
+TEST_F(FailpointTest, ArmingResetsTheHitCounter) {
+  fp_unit_a.Check();
+  fp_unit_a.Check();
+  // @1 counts from the moment of arming, not from process start.
+  ASSERT_TRUE(
+      util::ArmFailpoint("test.failpoint.a", util::FaultKind::kError, 1));
+  EXPECT_EQ(fp_unit_a.Check(), util::FaultKind::kError);
+}
+
+TEST_F(FailpointTest, DisarmedPointStillCountsHits) {
+  EXPECT_EQ(fp_unit_b.Check(), util::FaultKind::kNone);
+  EXPECT_EQ(fp_unit_b.Check(), util::FaultKind::kNone);
+  EXPECT_EQ(HitsOf("test.failpoint.b"), 2u);
+  EXPECT_EQ(FiresOf("test.failpoint.b"), 0u);
+}
+
+TEST_F(FailpointTest, SpecGrammarArmsMultiplePoints) {
+  std::string error;
+  ASSERT_TRUE(util::ArmFailpointsFromSpec(
+      "test.failpoint.a=oom@2;test.failpoint.b=enospc", &error))
+      << error;
+  EXPECT_EQ(fp_unit_a.Check(), util::FaultKind::kNone);
+  EXPECT_EQ(fp_unit_a.Check(), util::FaultKind::kOom);
+  EXPECT_EQ(fp_unit_b.Check(), util::FaultKind::kEnospc);  // default @1
+}
+
+TEST_F(FailpointTest, SpecAcceptsCommaSeparatorAndStickySuffix) {
+  std::string error;
+  ASSERT_TRUE(util::ArmFailpointsFromSpec(
+      "test.failpoint.a=err@1+,test.failpoint.b=short", &error))
+      << error;
+  EXPECT_EQ(fp_unit_a.Check(), util::FaultKind::kError);
+  EXPECT_EQ(fp_unit_a.Check(), util::FaultKind::kError);  // sticky
+  EXPECT_EQ(fp_unit_b.Check(), util::FaultKind::kShort);
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejectedWithAMessage) {
+  std::string error;
+  EXPECT_FALSE(util::ArmFailpointsFromSpec("test.failpoint.a", &error));
+  EXPECT_NE(error.find("name=kind"), std::string::npos);
+  EXPECT_FALSE(
+      util::ArmFailpointsFromSpec("test.failpoint.a=frobnicate", &error));
+  EXPECT_NE(error.find("unknown kind"), std::string::npos);
+  EXPECT_FALSE(util::ArmFailpointsFromSpec("test.failpoint.a=err@0", &error));
+  EXPECT_FALSE(util::ArmFailpointsFromSpec("test.failpoint.a=err@x", &error));
+}
+
+TEST_F(FailpointTest, SpecApplicationIsAllOrNothing) {
+  std::string error;
+  EXPECT_FALSE(util::ArmFailpointsFromSpec(
+      "test.failpoint.a=err;no.such.point=err", &error));
+  EXPECT_NE(error.find("no.such.point"), std::string::npos);
+  // The valid half must not have been armed.
+  EXPECT_EQ(fp_unit_a.Check(), util::FaultKind::kNone);
+}
+
+TEST_F(FailpointTest, UnknownDirectArmFails) {
+  EXPECT_FALSE(util::ArmFailpoint("no.such.point", util::FaultKind::kError));
+}
+
+TEST_F(FailpointTest, FaultedTransferShapesResultPerKind) {
+  ASSERT_TRUE(
+      util::ArmFailpoint("test.failpoint.a", util::FaultKind::kShort, 1,
+                         /*sticky=*/true));
+  EXPECT_EQ(util::FaultedTransfer(fp_unit_a, 10, 10), 5u);
+
+  ASSERT_TRUE(
+      util::ArmFailpoint("test.failpoint.a", util::FaultKind::kEnospc, 1,
+                         /*sticky=*/true));
+  errno = 0;
+  EXPECT_LT(util::FaultedTransfer(fp_unit_a, 10, 10), 10u);
+  EXPECT_EQ(errno, ENOSPC);
+
+  ASSERT_TRUE(
+      util::ArmFailpoint("test.failpoint.a", util::FaultKind::kError, 1,
+                         /*sticky=*/true));
+  errno = 0;
+  EXPECT_EQ(util::FaultedTransfer(fp_unit_a, 10, 10), 0u);
+  EXPECT_EQ(errno, EIO);
+}
+
+TEST_F(FailpointTest, FaultedOkForcesFailureWhileRealCallRan) {
+  bool real_ran = false;
+  ASSERT_TRUE(util::ArmFailpoint("test.failpoint.a", util::FaultKind::kError));
+  EXPECT_FALSE(GORDER_FAULT_OK(fp_unit_a, (real_ran = true)));
+  EXPECT_TRUE(real_ran);  // fclose-style calls must still happen
+}
+
+TEST_F(FailpointTest, FaultAllocThrowsBadAlloc) {
+  ASSERT_TRUE(util::ArmFailpoint("test.failpoint.a", util::FaultKind::kOom));
+  bool caught = false;
+  try {
+    GORDER_FAULT_ALLOC(fp_unit_a);
+  } catch (const std::bad_alloc&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST_F(FailpointTest, DisarmAllStopsFiringAndKeepsCounters) {
+  ASSERT_TRUE(util::ArmFailpoint("test.failpoint.a", util::FaultKind::kError,
+                                 1, /*sticky=*/true));
+  EXPECT_EQ(fp_unit_a.Check(), util::FaultKind::kError);
+  util::DisarmAllFailpoints();
+  EXPECT_EQ(fp_unit_a.Check(), util::FaultKind::kNone);
+  EXPECT_EQ(FiresOf("test.failpoint.a"), 1u);
+  EXPECT_EQ(HitsOf("test.failpoint.a"), 2u);
+}
+
+TEST_F(FailpointTest, NoPendingSpecsWithoutEnvArming) {
+  EXPECT_TRUE(util::PendingFailpointSpecs().empty());
+}
+
+#else  // !GORDER_FAILPOINTS_ENABLED
+
+TEST(Failpoint, FrameworkCompiledOut) {
+  GTEST_SKIP() << "build with -DGORDER_FAILPOINTS=ON to test the framework";
+}
+
+#endif  // GORDER_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace gorder

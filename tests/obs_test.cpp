@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <string>
 #include <vector>
@@ -217,6 +219,40 @@ TEST(ReportTest, EnvFingerprintIsPopulated) {
   EXPECT_FALSE(env.compiler.empty());
   EXPECT_FALSE(env.os.empty());
   EXPECT_GE(env.threads, 1);
+}
+
+// Regression: the trace writer used to fopen the final path directly, so
+// a crash or full disk left a truncated JSON file a viewer chokes on. It
+// now stages through util/atomic_file — success leaves exactly the final
+// file, failure leaves nothing at the final path and no staging debris.
+TEST(TraceWriterTest, WritesAtomicallyAndFailsClean) {
+  ObsGuard guard;
+  StartCapture();
+  { Span s("atomic_phase"); }
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "gorder_obs_atomic_trace_test";
+  fs::create_directories(dir);
+  const std::string trace = (dir / "trace.json").string();
+  EXPECT_TRUE(WriteChromeTrace(trace));
+  EXPECT_TRUE(fs::exists(trace));
+  std::ifstream in(trace);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"traceEvents\""), std::string::npos);
+
+  // Failure path: the final path is an existing directory, so the
+  // commit rename cannot succeed. The old content situation (nothing)
+  // must be preserved and the staging file cleaned up.
+  const std::string blocked = (dir / "blocked").string();
+  fs::create_directories(blocked);
+  EXPECT_FALSE(WriteChromeTrace(blocked + "/"));
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
+        << "staging debris: " << entry.path();
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
 }
 
 }  // namespace

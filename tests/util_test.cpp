@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <set>
 #include <vector>
 
 #include "util/flags.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -170,6 +172,47 @@ TEST(FlagsDeathTest, RejectsEmptyIntListElement) {
   Flags flags(2, const_cast<char**>(argv));
   EXPECT_EXIT(flags.GetIntList("threads", {}), testing::ExitedWithCode(2),
               "not a valid integer");
+}
+
+TEST(ParseInt64Test, AcceptsWholeNumbersOnly) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("4x", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("99999999999999999999999", &v));  // overflow
+  EXPECT_EQ(v, -7);  // untouched on failure
+}
+
+// Regression: GORDER_THREADS was parsed with std::atoi, so "4x" silently
+// ran with 4 threads and "two" silently fell back to the hardware
+// default — a typo'd env var quietly changed the experiment. Malformed
+// or non-positive values must now be fatal, exactly like --threads.
+TEST(ParallelEnvDeathTest, RejectsMalformedGorderThreads) {
+  EXPECT_EXIT(
+      {
+        setenv("GORDER_THREADS", "4x", 1);
+        SetNumThreads(0);  // forces re-resolution from the environment
+      },
+      testing::ExitedWithCode(2),
+      "GORDER_THREADS: '4x' is not a positive integer");
+  EXPECT_EXIT(
+      {
+        setenv("GORDER_THREADS", "0", 1);
+        SetNumThreads(0);
+      },
+      testing::ExitedWithCode(2),
+      "GORDER_THREADS: '0' is not a positive integer");
+  EXPECT_EXIT(
+      {
+        setenv("GORDER_THREADS", "-3", 1);
+        SetNumThreads(0);
+      },
+      testing::ExitedWithCode(2),
+      "GORDER_THREADS: '-3' is not a positive integer");
 }
 
 }  // namespace

@@ -37,12 +37,34 @@
 // --trace-out=<f> (Chrome trace for Perfetto).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "core/gorder_lib.h"
+#include "util/failpoint.h"
 
 namespace gorder {
 namespace {
+
+/// --failpoints=<spec> arms fault-injection points (DESIGN.md §14). A
+/// bad spec is fatal, and so is passing the flag to a binary built
+/// without -DGORDER_FAILPOINTS=ON — a fault-injection run must never
+/// silently execute fault-free.
+void ArmFailpointsFlag(const std::string& spec) {
+  if (spec.empty()) return;
+#if defined(GORDER_FAILPOINTS_ENABLED)
+  std::string error;
+  if (!util::ArmFailpointsFromSpec(spec, &error)) {
+    std::fprintf(stderr, "--failpoints: %s\n", error.c_str());
+    std::exit(2);
+  }
+#else
+  std::fprintf(stderr,
+               "--failpoints requires a -DGORDER_FAILPOINTS=ON build; "
+               "this binary has fault injection compiled out\n");
+  std::exit(2);
+#endif
+}
 
 bool EndsWith(const std::string& s, const char* suffix) {
   std::size_t n = std::strlen(suffix);
@@ -334,6 +356,7 @@ int Run(int argc, char** argv) {
     SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
   }
   if (flags.GetBool("quiet", false)) SetLogLevel(LogLevel::kQuiet);
+  ArmFailpointsFlag(flags.GetString("failpoints", ""));
   obs::RunOptions run;
   run.bench = "gorder_cli";
   run.flags = flags.Raw();

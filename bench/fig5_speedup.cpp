@@ -6,6 +6,9 @@
 //   --group-by-ordering   prints the supplementary Figure S1 layout
 //                         (one table per ordering instead of per
 //                         algorithm).
+//   --extended            also measures this repo's extension orderings
+//                         (Metis, OutDegSort, HubSort, HubCluster, DBG,
+//                         BOBA); ratios stay relative to Gorder.
 
 #include "bench/bench_common.h"
 
@@ -28,8 +31,16 @@ int main(int argc, char** argv) {
 
   auto grid = bench::RunSpeedupGrid(opt, pr_iters, diam_sources,
                                     /*progress=*/!opt.csv, metric,
-                                    bench::CacheConfigFromFlags(flags));
-  const std::size_t gorder_idx = grid.methods.size() - 1;  // kGorder last
+                                    bench::CacheConfigFromFlags(flags),
+                                    flags.GetBool("extended", false));
+  auto method_index = [&grid](order::Method m) {
+    for (std::size_t mi = 0; mi < grid.methods.size(); ++mi) {
+      if (grid.methods[mi] == m) return mi;
+    }
+    GORDER_CHECK(false && "method missing from speedup grid");
+    __builtin_unreachable();
+  };
+  const std::size_t gorder_idx = method_index(order::Method::kGorder);
 
   if (!by_ordering) {
     // One table per workload: rows = orderings, columns = datasets,
@@ -96,7 +107,8 @@ int main(int argc, char** argv) {
   // Headline summary: where does Gorder rank, and typical speedups.
   int series = 0, gorder_best = 0, gorder_top2 = 0;
   double speedup_vs_original = 0.0, speedup_vs_random = 0.0;
-  std::size_t original_idx = 0, random_idx = 1;
+  const std::size_t original_idx = method_index(order::Method::kOriginal);
+  const std::size_t random_idx = method_index(order::Method::kRandom);
   for (std::size_t d = 0; d < grid.datasets.size(); ++d) {
     for (std::size_t wi = 0; wi < grid.workloads.size(); ++wi) {
       const auto& row = grid.times[d][wi];

@@ -42,6 +42,7 @@ void BM_OrderSlashBurn(benchmark::State& s) {
 void BM_OrderLdg(benchmark::State& s) { RunMethod(s, Method::kLdg); }
 void BM_OrderMinLa(benchmark::State& s) { RunMethod(s, Method::kMinLa); }
 void BM_OrderGorder(benchmark::State& s) { RunMethod(s, Method::kGorder); }
+void BM_OrderBoba(benchmark::State& s) { RunMethod(s, Method::kBoba); }
 
 BENCHMARK(BM_OrderRandom);
 BENCHMARK(BM_OrderInDegSort);
@@ -51,6 +52,7 @@ BENCHMARK(BM_OrderSlashBurn);
 BENCHMARK(BM_OrderLdg);
 BENCHMARK(BM_OrderMinLa);
 BENCHMARK(BM_OrderGorder);
+BENCHMARK(BM_OrderBoba);
 
 void BM_GorderWindow(benchmark::State& state) {
   const Graph& g = SharedGraph();

@@ -44,5 +44,47 @@ void BM_UnitHeapMixedOps(benchmark::State& state) {
 }
 BENCHMARK(BM_UnitHeapMixedOps)->Arg(1 << 10)->Arg(1 << 14);
 
+void BM_UnitHeapLazyRefileStorm(benchmark::State& state) {
+  // The lazy-decrement path: window exits bank debt via AddDebtBy
+  // instead of moving the node, and an extracted node with outstanding
+  // debt is settled and re-filed lower. Increment-heavy churn followed
+  // by a drain full of refile storms — the settle loop's worst case.
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    UnitHeap heap(n);
+    state.ResumeTiming();
+    for (NodeId i = 0; i < 4 * n; ++i) {
+      heap.BumpBy(static_cast<NodeId>(rng.Uniform(n)), +1);
+    }
+    // Bank debt wherever the greedy's invariant (debt <= key) allows,
+    // as window exits do.
+    for (NodeId i = 0; i < 4 * n; ++i) {
+      NodeId v = static_cast<NodeId>(rng.Uniform(n));
+      if (heap.DebtOf(v) < heap.KeyOf(v)) heap.AddDebtBy(v, 1);
+    }
+    // Drain with the greedy's settle loop.
+    NodeId drained = 0;
+    std::uint64_t refiles = 0;
+    while (true) {
+      NodeId v = heap.ExtractMax();
+      if (v == kInvalidNode) break;
+      while (heap.DebtOf(v) > 0) {
+        ++refiles;
+        std::int32_t true_key = heap.KeyOf(v) - heap.DebtOf(v);
+        heap.ClearDebt(v);
+        heap.Insert(v, true_key);
+        v = heap.ExtractMax();
+      }
+      ++drained;
+    }
+    benchmark::DoNotOptimize(drained);
+    benchmark::DoNotOptimize(refiles);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 9);
+}
+BENCHMARK(BM_UnitHeapLazyRefileStorm)->Arg(1 << 10)->Arg(1 << 14);
+
 }  // namespace
 }  // namespace gorder::order

@@ -10,12 +10,14 @@ int main(int argc, char** argv) {
   using namespace gorder;
   auto opt = bench::BenchOptions::Parse(argc, argv, /*default_scale=*/0.25);
 
-  // The paper's Table 2 rows (Original/Random are free and omitted there).
+  // The paper's Table 2 rows (Original/Random are free and omitted
+  // there), plus BOBA as the streaming-speed floor for comparison.
   const std::vector<order::Method> methods = {
       order::Method::kMinLa,     order::Method::kMinLogA,
       order::Method::kRcm,       order::Method::kInDegSort,
       order::Method::kChDfs,     order::Method::kSlashBurn,
       order::Method::kLdg,       order::Method::kGorder,
+      order::Method::kBoba,
   };
 
   std::printf(

@@ -1,0 +1,29 @@
+#ifndef GORDER_ORDER_BOBA_H_
+#define GORDER_ORDER_BOBA_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gorder::order {
+
+/// BOBA (Order Beyond Bandwidth: graph reordering on GPUs, arXiv
+/// 2306.10410): first-appearance ordering over the edge stream. Nodes
+/// are ranked by the first position at which they occur when the CSR
+/// out-edge list is read as a flat stream of (source, destination)
+/// pairs; nodes that never occur (isolated) follow in ascending id.
+///
+/// The point of the method is that this recovers most of the locality of
+/// a traversal ordering at streaming speed and with no sequential
+/// dependence: every occurrence position is a pure function of the CSR
+/// layout (a source's position is twice the offset of its first
+/// out-edge, the destination of edge e sits at 2e+1), so threads
+/// min-reduce first-occurrence positions over disjoint edge ranges with
+/// no communication, and the result is bit-identical at any thread
+/// count — the same permutation a serial scan of the edge stream
+/// produces.
+std::vector<NodeId> BobaOrder(const Graph& graph);
+
+}  // namespace gorder::order
+
+#endif  // GORDER_ORDER_BOBA_H_

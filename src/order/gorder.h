@@ -24,10 +24,31 @@ namespace gorder::order {
 /// with the maximum in-degree node, and re-seeds implicitly on key-0
 /// extractions when the graph is disconnected.
 ///
+/// Per-phase cost breakdown of one GorderOrder run, for
+/// `gorder_cli --cmd=order --verbose` and profiling. Collecting it
+/// selects a timed kernel instantiation (two clock reads per placement);
+/// the permutation is bit-identical with or without stats.
+struct GorderPhaseStats {
+  double total_seconds = 0.0;
+  double init_seconds = 0.0;     // heap build + seed selection
+  double score_seconds = 0.0;    // window entry/exit score updates
+  double extract_seconds = 0.0;  // ExtractMax + lazy refiles
+  double window_seconds = 0.0;   // window ring + bookkeeping (residual)
+  std::uint64_t places = 0;
+  std::uint64_t score_updates = 0;
+  std::uint64_t lazy_refiles = 0;
+};
+
 /// Returns `perm[old] = new`. The paper proves the window greedy is a
 /// 1/(2w)-approximation of the optimal F(pi).
+///
+/// The inner loop is compiled per (neighbor score, sibling score, lazy
+/// decrements, timed) configuration, with the per-vertex heap state
+/// packed into single cache-line slots (see UnitHeap) and software
+/// prefetch over the window's adjacency scans.
 std::vector<NodeId> GorderOrder(const Graph& graph,
-                                const OrderingParams& params = {});
+                                const OrderingParams& params = {},
+                                GorderPhaseStats* stats = nullptr);
 
 }  // namespace gorder::order
 

@@ -290,6 +290,14 @@ std::uint64_t EdgeCut(const Graph& graph, const std::vector<int>& side) {
   return cut;
 }
 
+std::vector<int> BisectNodes(const Graph& graph,
+                             const std::vector<NodeId>& nodes,
+                             const MetisLikeParams& params, Rng& rng,
+                             std::vector<NodeId>& global_to_local) {
+  WGraph wg = InducedUndirected(graph, nodes, global_to_local);
+  return MultilevelBisect(wg, params, rng);
+}
+
 std::vector<NodeId> MetisLikeOrder(const Graph& graph,
                                    const MetisLikeParams& params) {
   const NodeId n = graph.NumNodes();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "order/annealing.h"
+#include "order/boba.h"
 #include "order/degree_grouping.h"
 #include "order/gorder.h"
 #include "order/metis_like.h"
@@ -26,7 +27,7 @@ constexpr MethodInfo kMethods[] = {
     {Method::kLdg, "LDG"},             {Method::kGorder, "Gorder"},
     {Method::kMetis, "Metis"},         {Method::kOutDegSort, "OutDegSort"},
     {Method::kHubSort, "HubSort"},     {Method::kHubCluster, "HubCluster"},
-    {Method::kDbg, "DBG"},
+    {Method::kDbg, "DBG"},             {Method::kBoba, "BOBA"},
 };
 
 constexpr int kNumPaperMethods = 10;
@@ -125,6 +126,8 @@ std::vector<NodeId> ComputeOrdering(const Graph& graph, Method method,
       return HubClusterOrder(graph);
     case Method::kDbg:
       return DbgOrder(graph);
+    case Method::kBoba:
+      return BobaOrder(graph);
   }
   GORDER_CHECK(false && "unhandled ordering method");
   __builtin_unreachable();

@@ -30,6 +30,10 @@ enum class Method {
   kHubSort,     // hubs sorted first, rest in original order (IISWC'18)
   kHubCluster,  // hubs first in original order (pure partition)
   kDbg,         // degree-based grouping into power-of-two classes
+  kBoba,        // first-appearance order over the CSR edge stream
+                // (arXiv 2306.10410): streaming-speed baseline,
+                // communication-free parallel, bit-identical at any
+                // thread count
 };
 
 /// Tuning knobs. Defaults reproduce the papers' settings.
@@ -74,7 +78,7 @@ std::vector<NodeId> ComputeOrdering(const Graph& graph, Method method,
 /// Name <-> enum mapping ("Original", "Random", "MinLA", "MinLogA",
 /// "RCM", "InDegSort", "ChDFS", "SlashBurn", "LDG", "Gorder", plus the
 /// extension names "Metis", "OutDegSort", "HubSort", "HubCluster",
-/// "DBG").
+/// "DBG", "BOBA").
 const std::string& MethodName(Method method);
 Method MethodFromName(const std::string& name);  // aborts on unknown
 

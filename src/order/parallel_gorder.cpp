@@ -1,11 +1,30 @@
 #include "order/parallel_gorder.h"
 
+#include <numeric>
+#include <utility>
+
+#include "obs/trace.h"
 #include "order/gorder.h"
 #include "order/metis_like.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
 namespace gorder::order {
+
+namespace {
+
+// SplitMix64 finaliser over (seed, tree position). The root block is 1
+// and block b's children are 2b and 2b+1, so every block's random
+// stream is a pure function of where it sits in the bisection tree —
+// never of which thread happened to bisect it.
+std::uint64_t BlockSeed(std::uint64_t seed, std::uint64_t block_id) {
+  std::uint64_t z = seed + block_id * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 std::vector<NodeId> ParallelGorderOrder(const Graph& graph,
                                         const OrderingParams& params,
@@ -19,42 +38,83 @@ std::vector<NodeId> ParallelGorderOrder(const Graph& graph,
   }
   if (num_threads <= 0) num_threads = NumThreads();
 
-  // 1. Region layout: the Metis-like recursive bisection already numbers
-  // nodes region-contiguously; cutting its arrangement into num_parts
-  // equal rank ranges yields the parts.
-  MetisLikeParams mp;
-  mp.seed = params.seed;
-  mp.leaf_size = std::max<NodeId>(16, n / (4 * num_parts));
-  std::vector<NodeId> region_perm = MetisLikeOrder(graph, mp);
-  std::vector<NodeId> region_order = InvertPermutation(region_perm);
-
-  struct Part {
-    NodeId rank_begin = 0;
-    NodeId rank_end = 0;  // exclusive
+  // 1. Front-end: level-parallel recursive bisection. The per-part
+  // greedy only needs part *membership*, not a full arrangement, so
+  // instead of the serial partitioner's deep recursion (depth
+  // log(n/leaf_size), all on one thread) we stop after ceil(log2
+  // num_parts) levels and bisect every block of a level concurrently.
+  // A num_parts that is not a power of two rounds up one level.
+  struct Block {
+    std::vector<NodeId> nodes;
+    std::uint64_t id = 0;  // position in the bisection tree, root = 1
   };
-  std::vector<Part> parts(num_parts);
-  for (int p = 0; p < num_parts; ++p) {
-    parts[p].rank_begin = static_cast<NodeId>(
-        static_cast<std::uint64_t>(n) * p / num_parts);
-    parts[p].rank_end = static_cast<NodeId>(
-        static_cast<std::uint64_t>(n) * (p + 1) / num_parts);
+  std::vector<Block> frontier(1);
+  frontier[0].nodes.resize(n);
+  std::iota(frontier[0].nodes.begin(), frontier[0].nodes.end(), 0);
+  frontier[0].id = 1;
+  MetisLikeParams mp;  // seed field unused: blocks derive their own
+  {
+    GORDER_OBS_SPAN(bisect_span, "pargorder:bisect");
+    while (frontier.size() < static_cast<std::size_t>(num_parts)) {
+      std::vector<Block> next(2 * frontier.size());
+      ParallelFor(
+          0, frontier.size(), 1,
+          [&](std::size_t lo, std::size_t hi) {
+            std::vector<NodeId> scratch(n, kInvalidNode);
+            for (std::size_t i = lo; i < hi; ++i) {
+              Block& blk = frontier[i];
+              Block& left = next[2 * i];
+              Block& right = next[2 * i + 1];
+              left.id = 2 * blk.id;
+              right.id = 2 * blk.id + 1;
+              if (blk.nodes.size() < 2) {
+                left.nodes = std::move(blk.nodes);
+                continue;
+              }
+              Rng rng(BlockSeed(params.seed, blk.id));
+              std::vector<int> side =
+                  BisectNodes(graph, blk.nodes, mp, rng, scratch);
+              for (std::size_t j = 0; j < blk.nodes.size(); ++j) {
+                (side[j] == 0 ? left : right).nodes.push_back(blk.nodes[j]);
+              }
+              if (left.nodes.empty() || right.nodes.empty()) {
+                // Degenerate split: halve arbitrarily to keep the parts
+                // balanced (the serial partitioner's fallback).
+                std::vector<NodeId> all = std::move(
+                    left.nodes.empty() ? right.nodes : left.nodes);
+                auto mid =
+                    all.begin() + static_cast<std::ptrdiff_t>(all.size() / 2);
+                left.nodes.assign(all.begin(), mid);
+                right.nodes.assign(mid, all.end());
+              }
+            }
+          },
+          num_threads);
+      frontier = std::move(next);
+    }
+  }
+  std::vector<std::vector<NodeId>> parts;
+  parts.reserve(frontier.size());
+  for (Block& blk : frontier) {
+    if (!blk.nodes.empty()) parts.push_back(std::move(blk.nodes));
+  }
+  std::vector<NodeId> rank_begin(parts.size() + 1, 0);
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    rank_begin[p + 1] =
+        rank_begin[p] + static_cast<NodeId>(parts[p].size());
   }
 
   // 2. Per-part sequential Gorder on the induced subgraph, on the shared
   // thread pool. Grain 1 lets skewed parts load-balance dynamically.
+  GORDER_OBS_SPAN(greedy_span, "pargorder:greedy");
   ParallelFor(
-      0, static_cast<std::size_t>(num_parts), 1,
+      0, parts.size(), 1,
       [&](std::size_t part_begin, std::size_t part_end) {
         std::vector<NodeId> global_to_local(n, kInvalidNode);
         for (std::size_t p = part_begin; p < part_end; ++p) {
-          const Part& part = parts[p];
-          const NodeId k = part.rank_end - part.rank_begin;
-          if (k == 0) continue;
-          std::vector<NodeId> members(k);
-          for (NodeId i = 0; i < k; ++i) {
-            members[i] = region_order[part.rank_begin + i];
-            global_to_local[members[i]] = i;
-          }
+          const std::vector<NodeId>& members = parts[p];
+          const NodeId k = static_cast<NodeId>(members.size());
+          for (NodeId i = 0; i < k; ++i) global_to_local[members[i]] = i;
           std::vector<Edge> edges;
           for (NodeId i = 0; i < k; ++i) {
             for (NodeId w : graph.OutNeighbors(members[i])) {
@@ -68,7 +128,7 @@ std::vector<NodeId> ParallelGorderOrder(const Graph& graph,
           std::vector<NodeId> local = GorderOrder(sub, params);
           for (NodeId i = 0; i < k; ++i) {
             // Writes are disjoint across parts: no synchronisation needed.
-            perm[members[i]] = part.rank_begin + local[i];
+            perm[members[i]] = rank_begin[p] + local[i];
             global_to_local[members[i]] = kInvalidNode;
           }
         }

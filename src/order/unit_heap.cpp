@@ -1,106 +1,78 @@
 #include "order/unit_heap.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
-#include "util/logging.h"
 
 namespace gorder::order {
 
 namespace {
 
-// Gorder's inner-loop operation counts (DESIGN.md "Observability"): one
-// uncontended sharded add per op when observability is on, a predicted
-// branch when GORDER_OBS=off, nothing at all when compiled out.
+// Gorder's inner-loop operation counts (DESIGN.md "Observability"). The
+// hot path batches them into plain member tallies; FlushObsCounters
+// settles the totals here, so a full ordering pays a handful of atomic
+// adds instead of one per heap op. `unit_heap.scan_words` counts bitmap
+// words examined by ExtractMax's top-bucket search — the regression
+// guard for the old O(max_key) empty-bucket walk.
 GORDER_OBS_COUNTER(c_increments, "unit_heap.increments");
 GORDER_OBS_COUNTER(c_decrements, "unit_heap.decrements");
 GORDER_OBS_COUNTER(c_extracts, "unit_heap.extracts");
 GORDER_OBS_COUNTER(c_inserts, "unit_heap.inserts");
 GORDER_OBS_COUNTER(c_removes, "unit_heap.removes");
+GORDER_OBS_COUNTER(c_scan_words, "unit_heap.scan_words");
 
 }  // namespace
 
 UnitHeap::UnitHeap(NodeId n)
-    : key_(n, 0),
-      prev_(n, kInvalidNode),
-      next_(n, kInvalidNode),
-      bucket_head_(1, kInvalidNode),
-      in_heap_(n, true),
+    : slots_(n + 1, Slot{0, kInvalidNode, kInvalidNode, 1u}),
+      n_(n),
+      occ_(1, 0),
+      occ_sum_(1, 0),
       size_(n) {
-  // Build the key-0 bucket by pushing ids in reverse so the list front is
-  // node 0 (deterministic tie-breaking for the initial extraction).
-  for (NodeId v = n; v > 0; --v) PushFront(v - 1, 0);
-}
-
-void UnitHeap::Unlink(NodeId v) {
-  NodeId p = prev_[v];
-  NodeId nx = next_[v];
-  if (p != kInvalidNode) {
-    next_[p] = nx;
-  } else {
-    bucket_head_[key_[v]] = nx;
+  // Build the key-0 bucket as a circle through its sentinel (slot n),
+  // ids ascending from the front (node 0 first): deterministic
+  // tie-breaking for the initial extraction, identical to pushing every
+  // id in reverse.
+  slots_[n].bits = 0;
+  if (n == 0) {
+    slots_[n].prev = slots_[n].next = n;
+    return;
   }
-  if (nx != kInvalidNode) prev_[nx] = p;
-  prev_[v] = next_[v] = kInvalidNode;
-}
-
-void UnitHeap::PushFront(NodeId v, std::int32_t key) {
-  if (static_cast<std::size_t>(key) >= bucket_head_.size()) {
-    bucket_head_.resize(key + 1, kInvalidNode);
+  slots_[n].next = 0;
+  slots_[n].prev = n - 1;
+  for (NodeId v = 0; v < n; ++v) {
+    slots_[v].prev = v == 0 ? n : v - 1;
+    slots_[v].next = v + 1;
   }
-  NodeId head = bucket_head_[key];
-  prev_[v] = kInvalidNode;
-  next_[v] = head;
-  if (head != kInvalidNode) prev_[head] = v;
-  bucket_head_[key] = v;
-  key_[v] = key;
-  if (key > max_key_) max_key_ = key;
+  SetOcc(0);
 }
 
-void UnitHeap::Increment(NodeId v) {
-  GORDER_DCHECK(in_heap_[v]);
-  GORDER_OBS_INC(c_increments);
-  std::int32_t k = key_[v];
-  Unlink(v);
-  PushFront(v, k + 1);
-}
+UnitHeap::~UnitHeap() { FlushObsCounters(); }
 
-void UnitHeap::Decrement(NodeId v) {
-  GORDER_DCHECK(in_heap_[v]);
-  GORDER_OBS_INC(c_decrements);
-  std::int32_t k = key_[v];
-  GORDER_DCHECK(k > 0);
-  Unlink(v);
-  PushFront(v, k - 1);
-}
-
-NodeId UnitHeap::ExtractMax() {
-  if (size_ == 0) return kInvalidNode;
-  GORDER_OBS_INC(c_extracts);
-  while (bucket_head_[max_key_] == kInvalidNode) {
-    GORDER_DCHECK(max_key_ > 0);
-    --max_key_;
+void UnitHeap::GrowBuckets(std::uint32_t key) {
+  const std::size_t old_buckets = slots_.size() - n_;
+  const std::size_t need = n_ + static_cast<std::size_t>(key) + 1;
+  if (need > slots_.capacity()) {
+    slots_.reserve(std::max(need, 2 * slots_.capacity()));
   }
-  NodeId v = bucket_head_[max_key_];
-  Unlink(v);
-  in_heap_[v] = false;
-  --size_;
-  return v;
+  slots_.resize(need, Slot{0, kInvalidNode, kInvalidNode, 0});
+  for (std::size_t b = old_buckets; b <= key; ++b) {
+    NodeId t = n_ + static_cast<NodeId>(b);
+    slots_[t].prev = slots_[t].next = t;  // empty circle
+  }
+  occ_.resize((key + 64) / 64, 0);
+  occ_sum_.resize((occ_.size() + 63) / 64, 0);
 }
 
-void UnitHeap::Insert(NodeId v, std::int32_t key) {
-  GORDER_DCHECK(!in_heap_[v]);
-  GORDER_OBS_INC(c_inserts);
-  GORDER_DCHECK(key >= 0);
-  in_heap_[v] = true;
-  ++size_;
-  PushFront(v, key);
-}
-
-void UnitHeap::Remove(NodeId v) {
-  GORDER_DCHECK(in_heap_[v]);
-  GORDER_OBS_INC(c_removes);
-  Unlink(v);
-  in_heap_[v] = false;
-  --size_;
+void UnitHeap::FlushObsCounters() {
+  GORDER_OBS_ADD(c_increments, n_increments_);
+  GORDER_OBS_ADD(c_decrements, n_decrements_);
+  GORDER_OBS_ADD(c_extracts, n_extracts_);
+  GORDER_OBS_ADD(c_inserts, n_inserts_);
+  GORDER_OBS_ADD(c_removes, n_removes_);
+  GORDER_OBS_ADD(c_scan_words, n_scan_words_);
+  n_increments_ = n_decrements_ = n_extracts_ = 0;
+  n_inserts_ = n_removes_ = n_scan_words_ = 0;
 }
 
 }  // namespace gorder::order

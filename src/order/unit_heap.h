@@ -4,60 +4,261 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/logging.h"
 #include "util/types.h"
 
 namespace gorder::order {
 
 /// Priority queue specialised for Gorder's access pattern: every key
 /// change is +-1 ("unit"), so elements live in intrusive doubly-linked
-/// bucket lists indexed by key and all operations are O(1) (ExtractMax is
-/// amortised O(1): the max-key cursor only descends by as much as the
-/// increments raised it).
+/// bucket lists indexed by key and all operations are O(1) (ExtractMax
+/// locates the top bucket through a two-level occupancy bitmap, so even
+/// the degenerate star-graph pattern — one key towering over a flat
+/// remainder — costs a handful of word scans, not a walk over every
+/// empty bucket).
 ///
 /// This replaces the general-purpose heap the naive greedy would need and
 /// is the data structure the paper calls the "unit heap" (replication
 /// §2.3 "a complex structure called unit heap, made of a linked list and
 /// pointers to different positions").
+///
+/// Hot-state layout (DESIGN.md "Hot per-vertex state"): key, both list
+/// links, the presence bit and the lazy-decrement debt of a vertex are
+/// packed into one 16-byte slot, four slots per cache line, so the
+/// Gorder inner loop touches one line per scored vertex where the
+/// previous four parallel arrays touched four. Each bucket's list is
+/// circular through a sentinel slot (stored past the vertex slots, at
+/// index n + bucket), so Unlink and PushFront are straight-line code:
+/// no head/tail/null special cases, which on the small L2-resident
+/// heaps of the replication datasets matters more than cache misses —
+/// the greedy's cost is mispredicted branches and dependent link
+/// updates. Methods are defined inline so the Gorder kernel compiles
+/// them into its loop.
+///
+/// Per-op observability tallies are plain member counters, flushed to
+/// the `unit_heap.*` obs counters on destruction (or FlushObsCounters):
+/// the hot path pays one register increment instead of an atomic add.
 class UnitHeap {
  public:
-  /// All n elements start present with key 0.
+  /// All n elements start present with key 0 and zero debt.
   explicit UnitHeap(NodeId n);
+  ~UnitHeap();
+  UnitHeap(const UnitHeap&) = delete;
+  UnitHeap& operator=(const UnitHeap&) = delete;
 
   NodeId size() const { return size_; }
   bool empty() const { return size_ == 0; }
-  bool Contains(NodeId v) const { return in_heap_[v]; }
-  std::int32_t KeyOf(NodeId v) const { return key_[v]; }
+  bool Contains(NodeId v) const { return (slots_[v].bits & 1u) != 0; }
+  /// Keys persist after extraction/removal (SlashBurn reads the key of a
+  /// node it just extracted).
+  std::int32_t KeyOf(NodeId v) const { return slots_[v].key; }
 
   /// key[v] += 1. v must be present.
-  void Increment(NodeId v);
+  void Increment(NodeId v) {
+    GORDER_DCHECK(Contains(v));
+    ++n_increments_;
+    Relink(v, slots_[v].key + 1);
+  }
+
   /// key[v] -= 1. v must be present with key > 0.
-  void Decrement(NodeId v);
+  void Decrement(NodeId v) {
+    GORDER_DCHECK(Contains(v));
+    GORDER_DCHECK(slots_[v].key > 0);
+    ++n_decrements_;
+    Relink(v, slots_[v].key - 1);
+  }
 
   /// Removes and returns an element of maximum key (ties: the most
   /// recently filed, which biases toward recently-touched nodes exactly
   /// like the reference implementation). Returns kInvalidNode if empty.
-  NodeId ExtractMax();
+  NodeId ExtractMax() {
+    if (size_ == 0) return kInvalidNode;
+    ++n_extracts_;
+    std::uint32_t b = HighestOccupied(static_cast<std::uint32_t>(max_key_));
+    // Occupancy bits are cleared lazily, here: Unlink leaves the bit of
+    // a bucket it empties set, keeping the relink hot path free of
+    // occupancy bookkeeping. Every stale bit costs one extra bitmap
+    // probe exactly once.
+    while (slots_[n_ + b].next == n_ + b) {
+      ClearOcc(b);
+      b = HighestOccupied(b);
+    }
+    max_key_ = static_cast<std::int32_t>(b);
+    NodeId v = slots_[n_ + b].next;
+    Unlink(v);
+    slots_[v].bits &= ~1u;
+    --size_;
+    return v;
+  }
 
   /// Removes v without returning it (used when the caller seeds the
   /// ordering with a chosen node). v must be present.
-  void Remove(NodeId v);
+  void Remove(NodeId v) {
+    GORDER_DCHECK(Contains(v));
+    ++n_removes_;
+    Unlink(v);
+    slots_[v].bits &= ~1u;
+    --size_;
+  }
 
   /// Re-inserts a previously removed element at the given key (used by
   /// the lazy-decrement Gorder variant to re-file a popped node whose
   /// key was stale). v must be absent; key must be >= 0.
-  void Insert(NodeId v, std::int32_t key);
+  void Insert(NodeId v, std::int32_t key) {
+    GORDER_DCHECK(!Contains(v));
+    GORDER_DCHECK(key >= 0);
+    ++n_inserts_;
+    slots_[v].bits |= 1u;
+    ++size_;
+    PushFront(v, key);
+  }
+
+  // ---- Fused hot-path operations (the Gorder kernel) ----
+  // Each folds the Contains() filter into the op, so a scored vertex
+  // costs exactly one slot load plus one relink.
+
+  /// key[v] += delta if present (delta may be negative, the result must
+  /// stay >= 0); returns whether v was present. Equivalent to |delta|
+  /// unit steps: the op tallies count unit steps, and the final bucket
+  /// position matches applying the steps back-to-back.
+  bool BumpBy(NodeId v, std::int32_t delta) {
+    Slot& s = slots_[v];
+    if ((s.bits & 1u) == 0) return false;
+    if (delta > 0) {
+      n_increments_ += static_cast<std::uint64_t>(delta);
+    } else {
+      n_decrements_ += static_cast<std::uint64_t>(-delta);
+    }
+    GORDER_DCHECK(s.key + delta >= 0);
+    Relink(v, s.key + delta);
+    return true;
+  }
+
+  /// Lazy-decrement debt += delta if present (no relink — this is what
+  /// makes the paper's lazy mode cheap); returns whether v was present.
+  bool AddDebtBy(NodeId v, std::uint32_t delta) {
+    Slot& s = slots_[v];
+    if ((s.bits & 1u) == 0) return false;
+    s.bits += delta << 1;
+    return true;
+  }
+
+  /// Pending lazy-decrement debt of v (0 unless AddDebtBy was used).
+  std::int32_t DebtOf(NodeId v) const {
+    return static_cast<std::int32_t>(slots_[v].bits >> 1);
+  }
+  void ClearDebt(NodeId v) { slots_[v].bits &= 1u; }
+
+  /// Software prefetch of v's slot, for adjacency scans that will bump v
+  /// a few iterations from now.
+  void PrefetchSlot(NodeId v) const {
+    __builtin_prefetch(&slots_[v], 1, 3);
+  }
+
+  /// Adds the batched op tallies to the `unit_heap.*` obs counters and
+  /// zeroes them. Called by the destructor; call explicitly to observe
+  /// counters while the heap is alive.
+  void FlushObsCounters();
 
  private:
-  void Unlink(NodeId v);
-  void PushFront(NodeId v, std::int32_t key);
+  // One cache-line quarter of hot state per vertex: key, intrusive list
+  // links, presence bit (bit 0) and lazy debt (bits 1..31).
+  struct Slot {
+    std::int32_t key;
+    NodeId prev;
+    NodeId next;
+    std::uint32_t bits;
+  };
+  static_assert(sizeof(Slot) == 16, "4 slots per 64-byte cache line");
 
-  std::vector<std::int32_t> key_;
-  std::vector<NodeId> prev_;
-  std::vector<NodeId> next_;
-  std::vector<NodeId> bucket_head_;  // indexed by key
-  std::vector<bool> in_heap_;
+  // Circular-list splice-out: two unconditional stores, no branches.
+  // If this empties the bucket, its occupancy bit goes stale;
+  // ExtractMax cleans it up.
+  void Unlink(NodeId v) {
+    Slot& s = slots_[v];
+    NodeId p = s.prev;
+    NodeId nx = s.next;
+    slots_[p].next = nx;
+    slots_[nx].prev = p;
+  }
+
+  // Splice-in right after the sentinel (the bucket front). The
+  // occupancy bit only needs setting when the bucket was empty AND its
+  // stale bit was already reclaimed — a rarely-taken branch.
+  void PushFront(NodeId v, std::int32_t key) {
+    std::uint32_t b = static_cast<std::uint32_t>(key);
+    NodeId t = n_ + b;
+    if (t >= slots_.size()) GrowBuckets(b);
+    NodeId head = slots_[t].next;
+    Slot& s = slots_[v];
+    s.prev = t;
+    s.next = head;
+    slots_[head].prev = v;
+    slots_[t].next = v;
+    if (head == t) SetOcc(b);
+    s.key = key;
+    if (key > max_key_) max_key_ = key;
+  }
+
+  // Unlink + PushFront fused for +-1 key moves (the dominant op).
+  void Relink(NodeId v, std::int32_t new_key) {
+    Unlink(v);
+    PushFront(v, new_key);
+  }
+
+  void SetOcc(std::uint32_t b) {
+    occ_[b >> 6] |= 1ull << (b & 63);
+    occ_sum_[b >> 12] |= 1ull << ((b >> 6) & 63);
+  }
+  void ClearOcc(std::uint32_t b) {
+    std::uint64_t w = (occ_[b >> 6] &= ~(1ull << (b & 63)));
+    if (w == 0) occ_sum_[b >> 12] &= ~(1ull << ((b >> 6) & 63));
+  }
+
+  /// Index of the highest occupied bucket <= hint. At least one bucket
+  /// must be occupied. Cost: one occ word, then summary words (each
+  /// covering 4096 buckets) until a hit — the `unit_heap.scan_words`
+  /// counter records how many, and the star-graph regression test pins
+  /// the bound.
+  std::uint32_t HighestOccupied(std::uint32_t hint) {
+    std::uint32_t wi = hint >> 6;
+    ++n_scan_words_;
+    std::uint64_t w = occ_[wi] & (~0ull >> (63 - (hint & 63)));
+    if (w != 0) return (wi << 6) + 63 - __builtin_clzll(w);
+    // Highest occupied occ word strictly below wi, via the summary.
+    std::uint32_t si = wi >> 6;
+    std::uint64_t s =
+        (wi & 63) == 0 ? 0 : occ_sum_[si] & ((1ull << (wi & 63)) - 1);
+    while (true) {
+      ++n_scan_words_;
+      if (s != 0) {
+        std::uint32_t wj = (si << 6) + 63 - __builtin_clzll(s);
+        return (wj << 6) + 63 - __builtin_clzll(occ_[wj]);
+      }
+      GORDER_DCHECK(si > 0);
+      s = occ_sum_[--si];
+    }
+  }
+
+  void GrowBuckets(std::uint32_t key);
+
+  // Vertex slots [0, n), then one sentinel slot per bucket at n + b
+  // (the links live in a single id space, so list splices never branch
+  // on "is this the head").
+  std::vector<Slot> slots_;
+  NodeId n_ = 0;
+  std::vector<std::uint64_t> occ_;   // bit per bucket: non-empty
+  std::vector<std::uint64_t> occ_sum_;  // bit per occ_ word: non-zero
   NodeId size_ = 0;
-  std::int32_t max_key_ = 0;
+  std::int32_t max_key_ = 0;  // upper bound; exact after ExtractMax
+
+  // Batched observability tallies (see FlushObsCounters).
+  std::uint64_t n_increments_ = 0;
+  std::uint64_t n_decrements_ = 0;
+  std::uint64_t n_extracts_ = 0;
+  std::uint64_t n_inserts_ = 0;
+  std::uint64_t n_removes_ = 0;
+  std::uint64_t n_scan_words_ = 0;
 };
 
 }  // namespace gorder::order

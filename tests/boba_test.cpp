@@ -1,0 +1,85 @@
+#include "order/boba.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/datasets.h"
+#include "graph/graph.h"
+#include "util/parallel.h"
+
+namespace gorder::order {
+namespace {
+
+/// The ordering BOBA promises: read the CSR out-edge list as a flat
+/// stream of (source, destination) pairs and rank nodes by first
+/// appearance, isolated nodes last in ascending id.
+std::vector<NodeId> ReferenceFirstAppearance(const Graph& g) {
+  const NodeId n = g.NumNodes();
+  std::vector<NodeId> perm(n, kInvalidNode);
+  NodeId rank = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId w : g.OutNeighbors(u)) {
+      if (perm[u] == kInvalidNode) perm[u] = rank++;
+      if (perm[w] == kInvalidNode) perm[w] = rank++;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (perm[v] == kInvalidNode) perm[v] = rank++;
+  }
+  return perm;
+}
+
+TEST(BobaTest, MatchesSerialStreamScan) {
+  // The parallel min-reduction must reproduce the serial stream scan
+  // exactly — the positions it minimises are the stream positions.
+  for (const char* name : {"epinion", "wiki", "flickr"}) {
+    Graph g = gen::MakeDataset(name, 0.1);
+    EXPECT_EQ(BobaOrder(g), ReferenceFirstAppearance(g)) << name;
+  }
+}
+
+TEST(BobaTest, ValidPermutationWithIsolatedNodesLast) {
+  Graph::Builder b;
+  b.AddEdge(3, 5);
+  b.AddEdge(5, 3);
+  b.AddEdge(7, 2);
+  b.ReserveNodes(10);
+  Graph g = b.Build();
+  auto perm = BobaOrder(g);
+  CheckPermutation(perm, g.NumNodes());
+  // Stream: (3,5) (5,3) (7,2) -> first appearances 3, 5, 7, 2; the
+  // untouched nodes follow in ascending id.
+  EXPECT_EQ(perm[3], 0u);
+  EXPECT_EQ(perm[5], 1u);
+  EXPECT_EQ(perm[7], 2u);
+  EXPECT_EQ(perm[2], 3u);
+  EXPECT_EQ(perm[0], 4u);
+  EXPECT_EQ(perm[1], 5u);
+  EXPECT_EQ(perm[4], 6u);
+  EXPECT_EQ(perm[6], 7u);
+  EXPECT_EQ(perm[8], 8u);
+  EXPECT_EQ(perm[9], 9u);
+}
+
+TEST(BobaTest, EmptyGraphSafe) {
+  Graph empty;
+  EXPECT_TRUE(BobaOrder(empty).empty());
+}
+
+TEST(BobaTest, BitIdenticalAcrossThreadCounts) {
+  Graph g = gen::MakeDataset("wiki", 0.1);
+  const int prev = NumThreads();
+  SetNumThreads(1);
+  auto one = BobaOrder(g);
+  SetNumThreads(2);
+  auto two = BobaOrder(g);
+  SetNumThreads(8);
+  auto eight = BobaOrder(g);
+  SetNumThreads(prev);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+}  // namespace
+}  // namespace gorder::order

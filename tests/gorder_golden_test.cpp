@@ -1,0 +1,72 @@
+// Golden-value pins for the Gorder greedy on the seed datasets: the
+// exact objective score F and an FNV-1a fingerprint of the permutation.
+// Every cache-layout refactor of the kernel (packed heap slots,
+// sentinel bucket lists, lazy occupancy clearing, prefetch batching)
+// promises *bit-identical* output — these pins turn that promise into a
+// failing test instead of a silent quality drift.
+//
+// If a change legitimately alters the ordering (a new tie-break rule,
+// say), re-derive the constants with
+//   ./build/bench/perf_ordering --methods=Gorder \
+//       --datasets=epinion,wiki,flickr --scale=... --csv
+// and say so loudly in the commit message.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "graph/graph.h"
+#include "graph/stats.h"
+#include "order/gorder.h"
+
+namespace gorder::order {
+namespace {
+
+// Same fingerprint as bench/perf_ordering.cpp: FNV-1a over the
+// permutation words.
+std::uint64_t PermFingerprint(const std::vector<NodeId>& perm) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (NodeId v : perm) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct Golden {
+  const char* dataset;
+  double scale;
+  bool lazy;
+  std::uint64_t score;  // F(pi, w=5)
+  std::uint64_t fnv;
+};
+
+// Derived from the pre-refactor greedy (seed 42, window 5) and carried
+// unchanged through the packed-slot kernel.
+constexpr Golden kGoldens[] = {
+    {"epinion", 0.10, false, 5477, 0xd86e7b3375554f3dULL},
+    {"wiki", 0.10, false, 33220, 0x4b0629fdf7e37b9bULL},
+    {"flickr", 0.15, false, 22241, 0x31587a5e0fe55a53ULL},
+    {"epinion", 0.10, true, 5492, 0x7627bcbd6f086d59ULL},
+    {"wiki", 0.10, true, 33349, 0xa5f8b1d0622feb67ULL},
+    {"flickr", 0.15, true, 22202, 0x84f6650a1cbd6305ULL},
+};
+
+TEST(GorderGoldenTest, ScoresAndFingerprintsMatchPreRefactorKernel) {
+  for (const Golden& g : kGoldens) {
+    Graph graph = gen::MakeDataset(g.dataset, g.scale);
+    OrderingParams params;
+    params.gorder_lazy_decrements = g.lazy;
+    auto perm = GorderOrder(graph, params);
+    CheckPermutation(perm, graph.NumNodes());
+    EXPECT_EQ(GorderScoreUnderPermutation(graph, perm, 5), g.score)
+        << g.dataset << "@" << g.scale << (g.lazy ? " lazy" : " eager");
+    EXPECT_EQ(PermFingerprint(perm), g.fnv)
+        << g.dataset << "@" << g.scale << (g.lazy ? " lazy" : " eager");
+  }
+}
+
+}  // namespace
+}  // namespace gorder::order

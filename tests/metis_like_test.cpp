@@ -108,10 +108,11 @@ TEST(MetisLikeTest, LeafSizeControlsGranularity) {
 }
 
 TEST(RegistryExtensionTest, ExtendedMethodsResolve) {
-  EXPECT_EQ(AllMethodsExtended().size(), 15u);
+  EXPECT_EQ(AllMethodsExtended().size(), 16u);
   EXPECT_EQ(AllMethods().size(), 10u);
   EXPECT_EQ(MethodFromName("Metis"), Method::kMetis);
   EXPECT_EQ(MethodFromName("DBG"), Method::kDbg);
+  EXPECT_EQ(MethodFromName("BOBA"), Method::kBoba);
   EXPECT_EQ(MethodName(Method::kHubSort), "HubSort");
   // Every extended method yields a valid permutation.
   Graph g = gen::MakeDataset("epinion", 0.05);

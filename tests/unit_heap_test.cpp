@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace gorder::order {
@@ -70,6 +71,35 @@ TEST(UnitHeapTest, ManyIncrementsGrowBuckets) {
   for (int i = 0; i < 1000; ++i) h.Increment(1);
   EXPECT_EQ(h.KeyOf(1), 1000);
   EXPECT_EQ(h.ExtractMax(), 1u);
+}
+
+TEST(UnitHeapTest, DegenerateStarExtractionAvoidsTopRescan) {
+  // Regression for the O(n * K) degenerate case a star graph triggers:
+  // one hub pumped to key K, then n leaves at key 0. An ExtractMax that
+  // rescans the bucket array from a stale top pointer pays ~K/64 words
+  // on *every* leaf extraction; the two-level occupancy bitmap pays the
+  // drop from K once and then serves each leaf in O(1). The
+  // unit_heap.scan_words counter is the observable.
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabledForTest(true);
+  obs::Counter& scans = obs::GetCounter("unit_heap.scan_words");
+  const std::uint64_t before = scans.Value();
+  const NodeId n = 4096;
+  const std::int32_t hub_key = 1 << 17;
+  {
+    UnitHeap h(n);
+    ASSERT_TRUE(h.BumpBy(0, hub_key));
+    EXPECT_EQ(h.ExtractMax(), 0u);
+    for (NodeId i = 1; i < n; ++i) {
+      ASSERT_NE(h.ExtractMax(), kInvalidNode);
+    }
+    h.FlushObsCounters();
+  }
+  const std::uint64_t scanned = scans.Value() - before;
+  // A per-extract rescan would cost at least n * hub_key / 64 = 8M
+  // words here; the bitmap descent costs a few words per extraction.
+  EXPECT_LT(scanned, 20u * n);
+  obs::SetEnabledForTest(was_enabled);
 }
 
 // Property test: a long random op sequence against a naive reference.

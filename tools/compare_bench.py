@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Compares or merges gorder-bench-ordering perf snapshots.
+
+Stdlib-only so it runs anywhere python3 exists (CI perf-smoke job).
+
+The trajectory file (repo-root BENCH_ordering.json) and the single-entry
+snapshots that bench/perf_ordering.cpp writes via --bench-json share one
+schema: {"schema": "gorder-bench-ordering", "schema_version": 1,
+"entries": [...]}. Every entry carries the wall time of a fixed
+pointer-chase calibration kernel; comparisons are made on
+calibration-normalised seconds (median / calibration), so a slower CI
+host does not read as a regression and a faster one does not mask one.
+
+Compare mode (default):
+  tools/compare_bench.py SNAPSHOT.json --baseline=BENCH_ordering.json \
+      [--tolerance=0.25] [--score-tolerance=0.001]
+
+  Runs are matched on (dataset, method, scale, seed, window, lazy); the
+  latest baseline entry containing a matching run wins. Exit 1 if any
+  matched run's normalised time regresses by more than --tolerance
+  (fraction, default 25%) or its locality score drifts by more than
+  --score-tolerance (default 0.1%). Unmatched runs are reported and
+  skipped. Runs faster than --min-seconds (default 1ms) on either side
+  are score-checked but not time-checked: at that granularity timer
+  jitter dwarfs any tolerance and the verdict would be noise. A permutation-fingerprint change with an equal score is
+  reported as a note, not a failure (tie-break changes are pinned by
+  tests/gorder_golden_test.cpp instead).
+
+Merge mode:
+  tools/compare_bench.py SNAPSHOT.json --merge-into=BENCH_ordering.json
+
+  Appends the snapshot's entries to the trajectory file (creating it if
+  absent), preserving existing entries — the durable perf trajectory
+  grows one labelled entry per recorded milestone.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_NAME = "gorder-bench-ordering"
+SCHEMA_VERSION = 1
+
+MATCH_KEYS = ("dataset", "method", "scale", "seed", "window", "lazy")
+
+
+def fail(msg):
+    print(f"compare_bench: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if doc.get("schema") != SCHEMA_NAME:
+        fail(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA_NAME!r}")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(f"{path}: schema_version {doc.get('schema_version')!r}, "
+             f"want {SCHEMA_VERSION}")
+    if not isinstance(doc.get("entries"), list):
+        fail(f"{path}: entries must be an array")
+    return doc
+
+
+def run_key(run):
+    return tuple(run.get(k) for k in MATCH_KEYS)
+
+
+def latest_baseline_runs(baseline_doc):
+    """Maps run key -> (entry, run), later entries overriding earlier."""
+    table = {}
+    for entry in baseline_doc["entries"]:
+        for run in entry.get("runs", []):
+            table[run_key(run)] = (entry, run)
+    return table
+
+
+def compare(snapshot, baseline, tolerance, score_tolerance, min_seconds):
+    base_runs = latest_baseline_runs(baseline)
+    failures = 0
+    compared = 0
+    for entry in snapshot["entries"]:
+        cal = entry.get("calibration_seconds")
+        if not cal or cal <= 0:
+            fail(f"snapshot entry {entry.get('label')!r} has no usable "
+                 "calibration_seconds")
+        for run in entry.get("runs", []):
+            key = run_key(run)
+            name = "{}/{}@{} w={} lazy={}".format(
+                run.get("dataset"), run.get("method"), run.get("scale"),
+                run.get("window"), run.get("lazy"))
+            if key not in base_runs:
+                print(f"  {name}: no baseline run, skipped")
+                continue
+            base_entry, base_run = base_runs[key]
+            base_cal = base_entry.get("calibration_seconds")
+            if not base_cal or base_cal <= 0:
+                print(f"  {name}: baseline entry "
+                      f"{base_entry.get('label')!r} lacks calibration, "
+                      "skipped")
+                continue
+            compared += 1
+            new_norm = run["seconds_median"] / cal
+            old_norm = base_run["seconds_median"] / base_cal
+            ratio = new_norm / old_norm if old_norm > 0 else float("inf")
+            if (run["seconds_median"] < min_seconds
+                    or base_run["seconds_median"] < min_seconds):
+                verdict = "time not checked (sub-ms, jitter-dominated)"
+            elif ratio > 1.0 + tolerance:
+                verdict = "REGRESSION"
+                failures += 1
+            elif ratio < 1.0 - tolerance:
+                verdict = "improved"
+            else:
+                verdict = "ok"
+            old_score = base_run.get("locality_score", 0)
+            new_score = run.get("locality_score", 0)
+            if old_score and abs(new_score - old_score) > (
+                    score_tolerance * old_score):
+                print(f"  {name}: locality score {old_score} -> "
+                      f"{new_score} drifts beyond "
+                      f"{score_tolerance:.1%}: FAIL")
+                failures += 1
+            elif base_run.get("perm_fnv1a") != run.get("perm_fnv1a"):
+                print(f"  {name}: note: permutation fingerprint changed "
+                      f"({base_run.get('perm_fnv1a')} -> "
+                      f"{run.get('perm_fnv1a')}), score within tolerance")
+            print(f"  {name}: {old_norm:.3f} -> {new_norm:.3f} "
+                  f"(normalised, x{ratio:.2f} vs "
+                  f"{base_entry.get('label')!r}): {verdict}")
+    if compared == 0:
+        fail("no snapshot run matched any baseline run — "
+             "check dataset/method/scale/window/lazy")
+    if failures:
+        fail(f"{failures} run(s) regressed beyond tolerance")
+    print(f"compare_bench: {compared} run(s) within {tolerance:.0%} of "
+          "baseline")
+
+
+def merge(snapshot, into_path):
+    try:
+        with open(into_path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        if doc.get("schema") != SCHEMA_NAME:
+            fail(f"{into_path}: schema is {doc.get('schema')!r}")
+    except FileNotFoundError:
+        doc = {"schema": SCHEMA_NAME, "schema_version": SCHEMA_VERSION,
+               "entries": []}
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{into_path}: {e}")
+    doc["entries"].extend(snapshot["entries"])
+    with open(into_path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    print(f"compare_bench: merged {len(snapshot['entries'])} entr"
+          f"{'y' if len(snapshot['entries']) == 1 else 'ies'} into "
+          f"{into_path} ({len(doc['entries'])} total)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshot", help="snapshot JSON from --bench-json")
+    parser.add_argument("--baseline", help="trajectory file to compare "
+                        "against (compare mode)")
+    parser.add_argument("--merge-into", help="trajectory file to append "
+                        "the snapshot's entries to (merge mode)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional slowdown of "
+                        "calibration-normalised time (default 0.25)")
+    parser.add_argument("--score-tolerance", type=float, default=0.001,
+                        help="allowed fractional locality-score drift "
+                        "(default 0.001 = 0.1%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.001,
+                        help="skip the time check for runs whose raw "
+                        "median is below this on either side "
+                        "(default 1ms)")
+    args = parser.parse_args()
+    if bool(args.baseline) == bool(args.merge_into):
+        fail("pass exactly one of --baseline (compare) or --merge-into")
+    snapshot = load(args.snapshot)
+    if args.baseline:
+        compare(snapshot, load(args.baseline), args.tolerance,
+                args.score_tolerance, args.min_seconds)
+    else:
+        merge(snapshot, args.merge_into)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

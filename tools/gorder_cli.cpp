@@ -4,6 +4,8 @@
 // Usage:
 //   gorder_cli --cmd=order   --in=g.txt --out=g_gorder.txt
 //              [--method=Gorder] [--window=5] [--seed=42] [--threads=N]
+//              [--lazy] (Gorder lazy decrements) [--verbose] (per-phase
+//              timing: score updates, heap ops, window maintenance)
 //   gorder_cli --cmd=stats   --in=g.txt
 //   gorder_cli --cmd=score   --in=g.txt [--window=5]
 //   gorder_cli --cmd=gen     --dataset=flickr --scale=0.5 --out=g.txt
@@ -25,7 +27,7 @@
 // them; --cmd=convert translates between all three).
 //
 // Methods: Original Random MinLA MinLogA RCM InDegSort ChDFS SlashBurn
-//          LDG Gorder Metis OutDegSort HubSort HubCluster DBG
+//          LDG Gorder Metis OutDegSort HubSort HubCluster DBG BOBA
 //
 // --threads=N (or the GORDER_THREADS env var) sizes the shared thread
 // pool used by graph build, relabel, edge-list parsing and the untraced
@@ -112,12 +114,45 @@ int CmdOrder(const Flags& flags) {
   order::OrderingParams params;
   params.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   params.window = static_cast<NodeId>(flags.GetInt("window", 5));
+  params.gorder_lazy_decrements = flags.GetBool("lazy", false);
   auto method = order::MethodFromName(flags.GetString("method", "Gorder"));
+  const bool verbose = flags.GetBool("verbose", false);
   // Ordering and relabel wall times are reported separately: the total is
   // the pipeline cost that must be amortised by downstream speedups
   // (Faldu et al., IISWC 2020).
   Timer timer;
-  auto perm = order::ComputeOrdering(g, method, params);
+  std::vector<NodeId> perm;
+  if (verbose && method == order::Method::kGorder) {
+    // Per-phase cost breakdown (a timed kernel run; the permutation is
+    // bit-identical to the untimed one).
+    order::GorderPhaseStats stats;
+    perm = order::GorderOrder(g, params, &stats);
+    auto pct = [&stats](double s) {
+      return 100.0 * s / std::max(stats.total_seconds, 1e-12);
+    };
+    std::printf("Gorder phase breakdown (total %.3fs):\n",
+                stats.total_seconds);
+    std::printf("  init (heap build + seed):   %8.3fs  %5.1f%%\n",
+                stats.init_seconds, pct(stats.init_seconds));
+    std::printf("  score updates (entry/exit): %8.3fs  %5.1f%%  "
+                "(%llu updates)\n",
+                stats.score_seconds, pct(stats.score_seconds),
+                static_cast<unsigned long long>(stats.score_updates));
+    std::printf("  heap extract (+refiles):    %8.3fs  %5.1f%%  "
+                "(%llu places, %llu refiles)\n",
+                stats.extract_seconds, pct(stats.extract_seconds),
+                static_cast<unsigned long long>(stats.places),
+                static_cast<unsigned long long>(stats.lazy_refiles));
+    std::printf("  window maintenance (rest):  %8.3fs  %5.1f%%\n",
+                stats.window_seconds, pct(stats.window_seconds));
+  } else {
+    if (verbose) {
+      GORDER_LOG_INFO("--verbose phase breakdown is Gorder-only; timing "
+                      "%s normally\n",
+                      order::MethodName(method).c_str());
+    }
+    perm = order::ComputeOrdering(g, method, params);
+  }
   double order_s = timer.Seconds();
   timer.Reset();
   Graph h = g.Relabel(perm);

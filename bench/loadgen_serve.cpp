@@ -1,0 +1,278 @@
+// loadgen_serve — open-loop load generator for a live gorderd.
+//
+// Drives a heavy-tailed request mix (point lookups dominate, a trickle
+// of full-kernel and ordering work) at a fixed offered rate, split
+// across independent connections. The load is OPEN-LOOP: every request
+// has a scheduled send time drawn from exponential inter-arrivals, and
+// its latency is measured from that *scheduled* time — a slow server
+// cannot slow the arrival process down, so coordinated omission does not
+// hide queueing delay (Tene, "How NOT to Measure Latency").
+//
+// Usage:
+//   loadgen_serve --target=unix:/tmp/gorderd.sock
+//                 [--qps=2000] [--seconds=5] [--connections=8]
+//                 [--seed=42] [--topk=8] [--pr-iters=5]
+//                 [--max-overloaded=N] (exit 1 if more responses were
+//                  kOverloaded — CI smoke asserts 0 at smoke rates)
+//                 [--shutdown-after] (send kShutdown once done, so a
+//                  scripted daemon drains, writes its report and exits)
+//                 [--json-out=f] [--quiet]
+//
+// Reports sustained QPS and p50/p99/p999 latency on stdout and, via
+// --json-out, as loadgen.* metrics in the standard run-report schema:
+// counters loadgen.sent/ok/overloaded/errors, gauges loadgen.qps_x1000
+// and loadgen.{p50,p99,p999,max}_us.
+//
+// Request mix (per arrival, before node sampling):
+//   55% neighbors   20% degree   10% bfs   10% sp   4% pagerank-topk
+//    1% order (a small generated edge list, BOBA — streaming-speed)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/gorder_lib.h"
+
+namespace gorder {
+namespace {
+
+struct WorkerStats {
+  std::vector<std::uint64_t> latencies_us;
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t errors = 0;  // any non-kOk, non-kOverloaded outcome
+};
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Exponential inter-arrival with rate `per_conn_qps`, via inverse CDF.
+double NextGap(Rng& rng, double per_conn_qps) {
+  double u = rng.UniformDouble();
+  if (u >= 1.0) u = 0.999999;
+  return -std::log1p(-u) / per_conn_qps;
+}
+
+/// One connection's open loop: its own Poisson arrival process at
+/// qps/connections, blocking round trips, latency from scheduled send.
+void RunWorker(const util::NetAddress& target, double per_conn_qps,
+               double seconds, std::uint64_t seed, NodeId num_nodes,
+               std::uint32_t topk, std::uint32_t pr_iters, WorkerStats* stats,
+               std::atomic<bool>* failed) {
+  serve::Client client;
+  IoResult c = client.Connect(target, 30.0);
+  if (!c.ok) {
+    std::fprintf(stderr, "loadgen: connect: %s\n", c.error.c_str());
+    failed->store(true);
+    return;
+  }
+  Rng rng(seed);
+  // A tiny fixed edge list for the kOrder trickle (the point is protocol
+  // + scheduling coverage, not ordering throughput).
+  std::vector<Edge> upload;
+  for (NodeId v = 1; v < 64; ++v) upload.push_back({v / 2, v});
+
+  const double start = NowSeconds();
+  const double deadline = start + seconds;
+  double scheduled = start + NextGap(rng, per_conn_qps);
+  while (scheduled < deadline) {
+    const double now = NowSeconds();
+    if (scheduled > now) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(scheduled - now));
+    }
+    const std::uint64_t die = rng.Uniform(100);
+    const NodeId node = static_cast<NodeId>(rng.Uniform(num_nodes));
+    ++stats->sent;
+    serve::Status status;
+    if (die < 55) {
+      status = client.Neighbors(node).status;
+    } else if (die < 75) {
+      status = client.Degree(node).status;
+    } else if (die < 85) {
+      status = client.Bfs(node).status;
+    } else if (die < 95) {
+      status = client.Sp(node).status;
+    } else if (die < 99) {
+      status = client.PageRankTopK(topk, pr_iters).status;
+    } else {
+      status = client.Order("BOBA", 42, 64, upload).status;
+    }
+    const double done = NowSeconds();
+    stats->latencies_us.push_back(
+        static_cast<std::uint64_t>((done - scheduled) * 1e6));
+    if (status == serve::Status::kOk) {
+      ++stats->ok;
+    } else if (status == serve::Status::kOverloaded) {
+      ++stats->overloaded;
+    } else {
+      ++stats->errors;
+      if (!client.connected()) {
+        // Transport death ends this worker; the run reports the errors.
+        failed->store(true);
+        return;
+      }
+    }
+    scheduled += NextGap(rng, per_conn_qps);
+  }
+}
+
+std::uint64_t Percentile(const std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(rank + 0.5)];
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.GetBool("quiet", false)) SetLogLevel(LogLevel::kQuiet);
+  obs::RunOptions run;
+  run.bench = "loadgen_serve";
+  run.flags = flags.Raw();
+  run.json_out = flags.GetString("json-out", "");
+  run.trace_out = flags.GetString("trace-out", "");
+  obs::StartRun(run);
+
+  util::NetAddress target;
+  std::string parse_error;
+  const std::string spec = flags.GetString("target", "");
+  if (spec.empty() || !util::ParseNetAddress(spec, &target, &parse_error)) {
+    std::fprintf(stderr,
+                 "usage: loadgen_serve --target=unix:/path|tcp:HOST:PORT "
+                 "[--qps --seconds --connections]\n%s\n",
+                 parse_error.c_str());
+    return 2;
+  }
+  const double qps = flags.GetDouble("qps", 2000.0);
+  const double seconds = flags.GetDouble("seconds", 5.0);
+  const int connections = static_cast<int>(flags.GetInt("connections", 8));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const auto topk = static_cast<std::uint32_t>(flags.GetInt("topk", 8));
+  const auto pr_iters = static_cast<std::uint32_t>(flags.GetInt("pr-iters", 5));
+  const std::int64_t max_overloaded = flags.GetInt("max-overloaded", -1);
+  if (qps <= 0 || seconds <= 0 || connections < 1) {
+    std::fprintf(stderr,
+                 "error: --qps and --seconds must be positive, "
+                 "--connections >= 1\n");
+    return 2;
+  }
+
+  // One probe connection learns the graph size for node sampling.
+  serve::Client probe;
+  IoResult c = probe.Connect(target, 30.0);
+  if (!c.ok) {
+    std::fprintf(stderr, "loadgen: connect %s: %s\n", spec.c_str(),
+                 c.error.c_str());
+    return 1;
+  }
+  serve::InfoReply info = probe.Info();
+  if (!info.ok() || info.num_nodes == 0) {
+    std::fprintf(stderr, "loadgen: info failed: %s\n", info.error.c_str());
+    return 1;
+  }
+  probe.Close();
+  const auto num_nodes = static_cast<NodeId>(info.num_nodes);
+
+  std::vector<WorkerStats> stats(connections);
+  std::atomic<bool> failed{false};
+  Timer wall;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    for (int i = 0; i < connections; ++i) {
+      threads.emplace_back(RunWorker, target, qps / connections, seconds,
+                           seed + static_cast<std::uint64_t>(i) * 7919,
+                           num_nodes, topk, pr_iters, &stats[i], &failed);
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double elapsed = wall.Seconds();
+
+  std::vector<std::uint64_t> lat;
+  std::uint64_t sent = 0, ok = 0, overloaded = 0, errors = 0;
+  for (const auto& s : stats) {
+    lat.insert(lat.end(), s.latencies_us.begin(), s.latencies_us.end());
+    sent += s.sent;
+    ok += s.ok;
+    overloaded += s.overloaded;
+    errors += s.errors;
+  }
+  std::sort(lat.begin(), lat.end());
+  const double sustained = static_cast<double>(lat.size()) / elapsed;
+  const std::uint64_t p50 = Percentile(lat, 0.50);
+  const std::uint64_t p99 = Percentile(lat, 0.99);
+  const std::uint64_t p999 = Percentile(lat, 0.999);
+  const std::uint64_t max_us = lat.empty() ? 0 : lat.back();
+
+  obs::GetCounter("loadgen.sent").Add(sent);
+  obs::GetCounter("loadgen.ok").Add(ok);
+  obs::GetCounter("loadgen.overloaded").Add(overloaded);
+  obs::GetCounter("loadgen.errors").Add(errors);
+  obs::GetGauge("loadgen.qps_x1000")
+      .Set(static_cast<std::int64_t>(sustained * 1000.0));
+  obs::GetGauge("loadgen.p50_us").Set(static_cast<std::int64_t>(p50));
+  obs::GetGauge("loadgen.p99_us").Set(static_cast<std::int64_t>(p99));
+  obs::GetGauge("loadgen.p999_us").Set(static_cast<std::int64_t>(p999));
+  obs::GetGauge("loadgen.max_us").Set(static_cast<std::int64_t>(max_us));
+
+  std::printf("target:      %s (n=%llu, m=%llu, %u serve threads)\n",
+              spec.c_str(), static_cast<unsigned long long>(info.num_nodes),
+              static_cast<unsigned long long>(info.num_edges),
+              info.serve_threads);
+  std::printf("offered:     %.0f qps x %.1fs over %d connections\n", qps,
+              seconds, connections);
+  std::printf("completed:   %llu (%llu ok, %llu overloaded, %llu errors)\n",
+              static_cast<unsigned long long>(sent),
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(overloaded),
+              static_cast<unsigned long long>(errors));
+  std::printf("sustained:   %.0f qps\n", sustained);
+  std::printf("latency_us:  p50=%llu p99=%llu p999=%llu max=%llu\n",
+              static_cast<unsigned long long>(p50),
+              static_cast<unsigned long long>(p99),
+              static_cast<unsigned long long>(p999),
+              static_cast<unsigned long long>(max_us));
+
+  if (flags.GetBool("shutdown-after", false)) {
+    serve::Client admin;
+    if (admin.Connect(target, 30.0).ok) {
+      serve::Reply reply = admin.Shutdown();
+      if (!reply.ok()) {
+        std::fprintf(stderr, "loadgen: shutdown request failed: %s\n",
+                     reply.error.c_str());
+      }
+    }
+  }
+
+  if (failed.load()) {
+    std::fprintf(stderr, "loadgen: FAILED (a worker lost its connection)\n");
+    return 1;
+  }
+  if (errors > 0) {
+    std::fprintf(stderr, "loadgen: FAILED (%llu error responses)\n",
+                 static_cast<unsigned long long>(errors));
+    return 1;
+  }
+  if (max_overloaded >= 0 &&
+      overloaded > static_cast<std::uint64_t>(max_overloaded)) {
+    std::fprintf(stderr,
+                 "loadgen: FAILED (%llu overloaded > --max-overloaded=%lld)\n",
+                 static_cast<unsigned long long>(overloaded),
+                 static_cast<long long>(max_overloaded));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gorder
+
+int main(int argc, char** argv) { return gorder::Run(argc, argv); }

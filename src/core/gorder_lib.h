@@ -23,6 +23,8 @@
 ///   harness/   experiment grids, timing, rank aggregation
 ///   store/     binary graph packs (gpack), mmap zero-copy loading, and
 ///              the ordering artifact cache
+///   serve/     gorderd: the ordering-as-a-service daemon (wire
+///              protocol, server loop, blocking client)
 ///   obs/       telemetry: sharded metrics, phase spans, run reports
 
 #include "algo/algorithms.h"
@@ -56,6 +58,9 @@
 #include "order/ordering.h"
 #include "order/parallel_gorder.h"
 #include "order/unit_heap.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "store/fingerprint.h"
 #include "store/gpack.h"
 #include "store/mapped_file.h"
@@ -63,6 +68,7 @@
 #include "util/array_ref.h"
 #include "util/crc32.h"
 #include "util/flags.h"
+#include "util/net.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/table.h"

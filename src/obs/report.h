@@ -22,7 +22,9 @@ namespace gorder::obs {
 
 inline constexpr int kReportSchemaVersion = 1;
 // Minor 1: store.* metrics and spans (src/store pack + ordering cache).
-inline constexpr int kReportSchemaMinorVersion = 1;
+// Minor 2: serve.*/loadgen.*/net.* metrics and spans (gorderd daemon +
+//          its open-loop load generator).
+inline constexpr int kReportSchemaMinorVersion = 2;
 
 /// Host/build identity captured in every report, so a number is never
 /// compared against a number from a different machine unknowingly.

@@ -1,0 +1,285 @@
+#include "serve/client.h"
+
+#include <cstring>
+
+namespace gorder::serve {
+
+namespace {
+
+/// Marks a reply as transport-dead: the daemon never answered.
+template <typename R>
+R TransportError(const std::string& message) {
+  R r;
+  r.status = Status::kInternal;
+  r.error = "transport: " + message;
+  return r;
+}
+
+/// Pulls the daemon's error message out of an error body.
+void FillErrorMessage(Reply* reply, const std::byte* body,
+                      std::size_t body_len) {
+  WireReader r(body, body_len);
+  std::uint16_t msg_len = 0;
+  if (!r.GetU16(&msg_len) || r.remaining() < msg_len) return;
+  reply->error.resize(msg_len);
+  r.GetBytes(reply->error.data(), msg_len);
+}
+
+}  // namespace
+
+IoResult Client::Connect(const util::NetAddress& addr, double timeout_s) {
+  IoResult r = util::ConnectSocket(addr, &sock_, timeout_s);
+  if (!r.ok) return r;
+  std::string hello;
+  AppendHandshake(&hello);
+  r = util::WriteFull(sock_, hello.data(), hello.size());
+  if (!r.ok) {
+    sock_.Close();
+    return r;
+  }
+  std::byte ack[kHandshakeBytes];
+  r = util::ReadFull(sock_, ack, sizeof(ack));
+  if (!r.ok) {
+    sock_.Close();
+    return r;
+  }
+  std::uint32_t magic, version;
+  std::memcpy(&magic, ack, 4);
+  std::memcpy(&version, ack + 4, 4);
+  if (magic != kWireMagic) {
+    sock_.Close();
+    return IoResult::Error("handshake: bad magic from server");
+  }
+  if (version != kProtocolVersion) {
+    sock_.Close();
+    return IoResult::Error("handshake: server rejected protocol version " +
+                           std::to_string(kProtocolVersion));
+  }
+  return IoResult::Ok();
+}
+
+RawReply Client::Call(const std::string& frame) {
+  if (!sock_.valid()) return TransportError<RawReply>("not connected");
+  IoResult w = util::WriteFull(sock_, frame.data(), frame.size());
+  if (!w.ok) {
+    sock_.Close();
+    return TransportError<RawReply>(w.error);
+  }
+  std::byte len_bytes[4];
+  IoResult r = util::ReadFull(sock_, len_bytes, 4);
+  if (!r.ok) {
+    sock_.Close();
+    return TransportError<RawReply>(r.error);
+  }
+  std::uint32_t payload_len;
+  std::memcpy(&payload_len, len_bytes, 4);
+  if (payload_len > kMaxPayloadBytes) {
+    sock_.Close();
+    return TransportError<RawReply>("response declares oversized payload");
+  }
+  std::vector<std::byte> buf(4 + payload_len);
+  std::memcpy(buf.data(), len_bytes, 4);
+  if (payload_len > 0) {
+    r = util::ReadFull(sock_, buf.data() + 4, payload_len);
+    if (!r.ok) {
+      sock_.Close();
+      return TransportError<RawReply>(r.error);
+    }
+  }
+  std::size_t consumed = 0;
+  ResponseHeader header;
+  const std::byte* body = nullptr;
+  std::size_t body_len = 0;
+  std::string error;
+  DecodeResult d = DecodeResponse(buf.data(), buf.size(), &consumed, &header,
+                                  &body, &body_len, &error);
+  if (d != DecodeResult::kOk) {
+    sock_.Close();
+    return TransportError<RawReply>("undecodable response: " + error);
+  }
+  RawReply reply;
+  reply.status = header.status;
+  reply.epoch = header.epoch;
+  reply.body.assign(reinterpret_cast<const char*>(body), body_len);
+  if (!reply.ok()) FillErrorMessage(&reply, body, body_len);
+  return reply;
+}
+
+RawReply Client::RoundTrip(Request req) {
+  req.id = next_id_++;
+  std::string frame;
+  AppendRequest(&frame, req);
+  return Call(frame);
+}
+
+namespace {
+
+/// Copies the envelope of `raw` onto a typed reply; true when the typed
+/// body should be decoded.
+template <typename R>
+bool BeginDecode(const RawReply& raw, R* out) {
+  out->status = raw.status;
+  out->epoch = raw.epoch;
+  out->error = raw.error;
+  return raw.ok();
+}
+
+template <typename R>
+void MarkTruncated(R* out) {
+  out->status = Status::kInternal;
+  out->error = "transport: truncated response body";
+}
+
+Request Req(Opcode op, NodeId node = 0, std::uint32_t k = 0,
+            std::uint32_t iterations = 0) {
+  Request r;
+  r.opcode = op;
+  r.node = node;
+  r.k = k;
+  r.iterations = iterations;
+  return r;
+}
+
+}  // namespace
+
+Reply Client::Ping() {
+  Reply out;
+  RawReply raw = RoundTrip(Req(Opcode::kPing));
+  BeginDecode(raw, &out);
+  return out;
+}
+
+InfoReply Client::Info() {
+  InfoReply out;
+  RawReply raw = RoundTrip(Req(Opcode::kInfo));
+  if (!BeginDecode(raw, &out)) return out;
+  WireReader r(reinterpret_cast<const std::byte*>(raw.body.data()),
+               raw.body.size());
+  if (!r.GetU64(&out.num_nodes) || !r.GetU64(&out.num_edges) ||
+      !r.GetU32(&out.serve_threads) || !r.GetU32(&out.protocol_version)) {
+    MarkTruncated(&out);
+  }
+  return out;
+}
+
+DegreeReply Client::Degree(NodeId node) {
+  DegreeReply out;
+  RawReply raw = RoundTrip(Req(Opcode::kDegree, node));
+  if (!BeginDecode(raw, &out)) return out;
+  WireReader r(reinterpret_cast<const std::byte*>(raw.body.data()),
+               raw.body.size());
+  if (!r.GetU32(&out.out_degree) || !r.GetU32(&out.in_degree)) {
+    MarkTruncated(&out);
+  }
+  return out;
+}
+
+NeighborsReply Client::Neighbors(NodeId node) {
+  NeighborsReply out;
+  RawReply raw = RoundTrip(Req(Opcode::kNeighbors, node));
+  if (!BeginDecode(raw, &out)) return out;
+  WireReader r(reinterpret_cast<const std::byte*>(raw.body.data()),
+               raw.body.size());
+  std::uint32_t count = 0;
+  if (!r.GetU32(&count) ||
+      r.remaining() != static_cast<std::size_t>(count) * sizeof(NodeId)) {
+    MarkTruncated(&out);
+    return out;
+  }
+  out.neighbors.resize(count);
+  r.GetBytes(out.neighbors.data(), r.remaining());
+  return out;
+}
+
+BfsReply Client::Bfs(NodeId source) {
+  BfsReply out;
+  RawReply raw = RoundTrip(Req(Opcode::kBfs, source));
+  if (!BeginDecode(raw, &out)) return out;
+  WireReader r(reinterpret_cast<const std::byte*>(raw.body.data()),
+               raw.body.size());
+  if (!r.GetU32(&out.num_reached) || !r.GetU64(&out.sum_levels) ||
+      !r.GetU64(&out.level_hash)) {
+    MarkTruncated(&out);
+  }
+  return out;
+}
+
+SpReply Client::Sp(NodeId source) {
+  SpReply out;
+  RawReply raw = RoundTrip(Req(Opcode::kSp, source));
+  if (!BeginDecode(raw, &out)) return out;
+  WireReader r(reinterpret_cast<const std::byte*>(raw.body.data()),
+               raw.body.size());
+  if (!r.GetU32(&out.num_reached) || !r.GetU32(&out.max_dist) ||
+      !r.GetU32(&out.num_rounds) || !r.GetU64(&out.dist_hash)) {
+    MarkTruncated(&out);
+  }
+  return out;
+}
+
+PageRankTopKReply Client::PageRankTopK(std::uint32_t k,
+                                       std::uint32_t iterations) {
+  PageRankTopKReply out;
+  RawReply raw = RoundTrip(Req(Opcode::kPageRankTopK, 0, k, iterations));
+  if (!BeginDecode(raw, &out)) return out;
+  WireReader r(reinterpret_cast<const std::byte*>(raw.body.data()),
+               raw.body.size());
+  std::uint32_t count = 0;
+  if (!r.GetF64(&out.total_mass) || !r.GetU32(&count) ||
+      r.remaining() != static_cast<std::size_t>(count) * 12) {
+    MarkTruncated(&out);
+    return out;
+  }
+  out.top.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NodeId node = 0;
+    double rank = 0.0;
+    r.GetU32(&node);
+    r.GetF64(&rank);
+    out.top.emplace_back(node, rank);
+  }
+  return out;
+}
+
+OrderReply Client::Order(const std::string& method, std::uint64_t seed,
+                         NodeId num_nodes, const std::vector<Edge>& edges) {
+  OrderReply out;
+  Request req;
+  req.opcode = Opcode::kOrder;
+  req.method = method;
+  req.seed = seed;
+  req.num_nodes = num_nodes;
+  req.edges = edges;
+  RawReply raw = RoundTrip(std::move(req));
+  if (!BeginDecode(raw, &out)) return out;
+  WireReader r(reinterpret_cast<const std::byte*>(raw.body.data()),
+               raw.body.size());
+  std::uint32_t count = 0;
+  if (!r.GetU32(&count) ||
+      r.remaining() != static_cast<std::size_t>(count) * sizeof(NodeId)) {
+    MarkTruncated(&out);
+    return out;
+  }
+  out.perm.resize(count);
+  r.GetBytes(out.perm.data(), r.remaining());
+  return out;
+}
+
+Reply Client::SwapPack(const std::string& pack_path) {
+  Reply out;
+  Request req;
+  req.opcode = Opcode::kSwapPack;
+  req.pack_path = pack_path;
+  RawReply raw = RoundTrip(std::move(req));
+  BeginDecode(raw, &out);
+  return out;
+}
+
+Reply Client::Shutdown() {
+  Reply out;
+  RawReply raw = RoundTrip(Req(Opcode::kShutdown));
+  BeginDecode(raw, &out);
+  return out;
+}
+
+}  // namespace gorder::serve

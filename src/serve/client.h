@@ -1,0 +1,123 @@
+#ifndef GORDER_SERVE_CLIENT_H_
+#define GORDER_SERVE_CLIENT_H_
+
+/// Blocking gorderd client: one connection, typed wrappers over the wire
+/// protocol (serve/protocol.h). Used by the CLI-side of the daemon
+/// tooling, the load generator and the test battery.
+///
+/// Every call returns a result struct carrying `status` + serving
+/// `epoch`; `ok()` means the daemon answered kOk, `error` carries the
+/// daemon's message otherwise. A transport failure (socket error,
+/// truncated response) surfaces as kInternal with the IO error text —
+/// callers can always distinguish it from a daemon-sent kInternal by the
+/// connection being dead afterwards.
+///
+/// `Call` sends an arbitrary pre-framed request and returns the raw
+/// response, which is what the conformance and fuzz suites use to push
+/// adversarial frames at a live server.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "serve/protocol.h"
+#include "util/io_result.h"
+#include "util/net.h"
+
+namespace gorder::serve {
+
+/// Common reply envelope. Specific results add their payload fields.
+struct Reply {
+  Status status = Status::kInternal;
+  std::uint64_t epoch = 0;
+  std::string error;  // daemon or transport error message
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+struct InfoReply : Reply {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  std::uint32_t serve_threads = 0;
+  std::uint32_t protocol_version = 0;
+};
+
+struct DegreeReply : Reply {
+  std::uint32_t out_degree = 0;
+  std::uint32_t in_degree = 0;
+};
+
+struct NeighborsReply : Reply {
+  std::vector<NodeId> neighbors;
+};
+
+struct BfsReply : Reply {
+  std::uint32_t num_reached = 0;
+  std::uint64_t sum_levels = 0;
+  std::uint64_t level_hash = 0;  // FNV-1a 64 of the level array
+};
+
+struct SpReply : Reply {
+  std::uint32_t num_reached = 0;
+  std::uint32_t max_dist = 0;
+  std::uint32_t num_rounds = 0;
+  std::uint64_t dist_hash = 0;  // FNV-1a 64 of the dist array
+};
+
+struct PageRankTopKReply : Reply {
+  double total_mass = 0.0;
+  std::vector<std::pair<NodeId, double>> top;  // (node, rank), rank desc
+};
+
+struct OrderReply : Reply {
+  std::vector<NodeId> perm;  // perm[old] = new
+};
+
+/// Raw response as received, for protocol-level tests.
+struct RawReply : Reply {
+  std::string body;  // opcode-specific body bytes (error body for !ok)
+};
+
+class Client {
+ public:
+  Client() = default;
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Connects and runs the magic/version handshake. `timeout_s` bounds
+  /// every subsequent send/recv, so a wedged daemon fails calls instead
+  /// of hanging the caller.
+  IoResult Connect(const util::NetAddress& addr, double timeout_s = 30.0);
+  bool connected() const { return sock_.valid(); }
+  void Close() { sock_.Close(); }
+
+  Reply Ping();
+  InfoReply Info();
+  DegreeReply Degree(NodeId node);
+  NeighborsReply Neighbors(NodeId node);
+  BfsReply Bfs(NodeId source);
+  SpReply Sp(NodeId source);
+  PageRankTopKReply PageRankTopK(std::uint32_t k, std::uint32_t iterations);
+  OrderReply Order(const std::string& method, std::uint64_t seed,
+                   NodeId num_nodes, const std::vector<Edge>& edges);
+  /// Asks the daemon to load `pack_path` and publish it as a new
+  /// snapshot; on kOk the reply's `epoch` is the new epoch.
+  Reply SwapPack(const std::string& pack_path);
+  Reply Shutdown();
+
+  /// Sends `frame` verbatim (must include the length prefix) and reads
+  /// one response. Conformance/fuzz entry point.
+  RawReply Call(const std::string& frame);
+
+  /// Encodes `req` with the next request id and performs one round trip.
+  RawReply RoundTrip(Request req);
+
+ private:
+  util::Socket sock_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace gorder::serve
+
+#endif  // GORDER_SERVE_CLIENT_H_

@@ -1,0 +1,115 @@
+#ifndef GORDER_SERVE_SERVER_H_
+#define GORDER_SERVE_SERVER_H_
+
+/// gorderd server core (DESIGN.md §16): a long-running daemon serving
+/// graph queries over the length-prefixed binary protocol
+/// (serve/protocol.h) on a unix or TCP stream socket.
+///
+/// Architecture:
+///
+///   acceptor thread ──▶ per-connection reader threads
+///                          │ decode frames, admission control
+///                          ▼
+///                    bounded request queue  ── full ─▶ OVERLOADED reply
+///                          │
+///                          ▼
+///                  serve_threads worker threads
+///                          │ execute against the current snapshot,
+///                          ▼ reply under the connection's write lock
+///
+/// The graph is held as an immutable, epoch-numbered snapshot behind a
+/// shared_ptr: queries pin the snapshot they started with, `Publish`
+/// swaps in a new one atomically, and the old mapping (typically an
+/// mmap'd .gpack, zero-copy shared across all workers) is unmapped only
+/// when its last in-flight query drains — the graceful hot-swap story.
+/// Every response carries the serving epoch, so swaps are observable.
+///
+/// Backpressure is explicit: when the queue is full the *reader* thread
+/// answers kOverloaded immediately instead of buffering unboundedly —
+/// an open-loop client sees the overload rather than unbounded latency.
+///
+/// Kernels executed by workers (BFS, SP, PageRank, orderings) are the
+/// library functions and keep their determinism contract, so a response
+/// is bit-identical to a direct library call on the same snapshot.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "graph/graph.h"
+#include "serve/protocol.h"
+#include "util/io_result.h"
+#include "util/net.h"
+
+namespace gorder::serve {
+
+struct ServerOptions {
+  util::NetAddress listen;
+
+  /// Worker threads executing queries (the "server threads" of the
+  /// concurrency differential test). Kernels may additionally fan out
+  /// on the shared fork-join pool (util/parallel.h).
+  int serve_threads = 2;
+  /// Bounded request queue; a frame arriving while it is full is
+  /// answered kOverloaded by the reader thread (admission control).
+  int queue_capacity = 128;
+  /// Connections beyond this are accepted and immediately closed.
+  int max_connections = 64;
+
+  // Per-request resource bounds (kBadRequest / kTooLarge when exceeded).
+  std::uint32_t max_neighbors = 1u << 20;   // kNeighbors reply cap
+  std::uint32_t max_topk = 4096;            // kPageRankTopK k cap
+  std::uint32_t max_iterations = 1000;      // kPageRankTopK iterations cap
+  NodeId max_order_nodes = 1u << 22;        // kOrder uploaded-graph cap
+
+  /// Admin opcodes can be disabled for exposed deployments.
+  bool allow_swap = true;
+  bool allow_shutdown = true;
+};
+
+class Server {
+ public:
+  /// Takes ownership of the initial snapshot (epoch 1).
+  Server(Graph graph, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listen address and starts the acceptor and worker
+  /// threads. On failure nothing runs and the error is returned.
+  IoResult Start();
+
+  /// Graceful stop: stop accepting, fail new requests with
+  /// kShuttingDown, drain queued work, then tear down connections and
+  /// join every thread. Idempotent; also invoked by the destructor.
+  void Stop();
+
+  /// Blocks up to `timeout_s` for a client kShutdown request (or a
+  /// Stop() from another thread). Returns true once shutdown has been
+  /// requested — the caller then runs Stop(). This indirection keeps
+  /// Stop() off the worker threads, which could not join themselves.
+  bool WaitForShutdown(double timeout_s);
+
+  /// Publishes a new snapshot; readers drain on the old one. Returns
+  /// the new epoch.
+  std::uint64_t Publish(Graph graph);
+
+  std::uint64_t Epoch() const;
+  /// Actual bound TCP port after Start() (tcp:0 resolves here); 0 for
+  /// unix sockets.
+  int Port() const;
+  const ServerOptions& options() const;
+
+  /// Test hook, called on the worker thread just before each dequeued
+  /// request executes. Lets tests hold workers on a latch to fill the
+  /// queue deterministically. Not for production use.
+  void SetExecuteHookForTest(std::function<void(const Request&)> hook);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace gorder::serve
+
+#endif  // GORDER_SERVE_SERVER_H_

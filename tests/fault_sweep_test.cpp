@@ -1,5 +1,5 @@
 // One-fault-at-a-time sweep over the pack -> store -> load -> order ->
-// bench pipeline (DESIGN.md §14). For every registered failpoint and
+// bench -> serve pipeline (DESIGN.md §14). For every registered failpoint and
 // every fault kind, exactly one fault is armed and the whole pipeline
 // runs in a fresh directory; the sweep then asserts the degradation
 // contract:
@@ -55,6 +55,10 @@ struct PipelineOutcome {
   bool copied_pack = false;
   bool saved_ordering = false, loaded_ordering = false;
   bool wrote_trace = false;
+  bool serve_started = false;       // daemon bound its socket
+  bool serve_queried = false;       // ping+info+neighbors all answered
+  bool serve_alive_after = false;   // fresh connection works at the end
+  std::uint64_t serve_nodes = 0;    // n reported by the daemon's kInfo
   std::uint64_t roundtrip_fp = 0;  // edge-list roundtrip fingerprint
   std::uint64_t binary_fp = 0;     // binary roundtrip fingerprint
   std::uint64_t cold_fp = 0;       // store.GetDataset, cold
@@ -135,6 +139,44 @@ PipelineOutcome RunPipeline(const std::string& dir) {
   // 7. Telemetry artifact writer.
   out.wrote_trace = obs::WriteChromeTrace(dir + "/trace.json");
   if (!out.wrote_trace) out.errors.push_back("WriteChromeTrace failed");
+
+  // 8. Ordering-as-a-service daemon (src/serve): bind, serve a few
+  // queries in-process, then prove the daemon outlives the fault. This
+  // is what drives the net.* failpoints (listen/accept/connect/read/
+  // write): one injected syscall failure may cost one request or one
+  // connection — never the server.
+  {
+    serve::ServerOptions sopts;
+    sopts.listen.is_unix = true;
+    sopts.listen.path = dir + "/gd.sock";
+    sopts.serve_threads = 1;
+    serve::Server server(cold.Clone(), sopts);
+    out.serve_started = note(server.Start());
+    if (out.serve_started) {
+      auto note_reply = [&](const serve::Reply& reply) {
+        if (!reply.ok()) out.errors.push_back(reply.error);
+        return reply.ok();
+      };
+      serve::Client client;
+      if (note(client.Connect(sopts.listen, 10.0))) {
+        const bool ping_ok = note_reply(client.Ping());
+        serve::InfoReply info = client.Info();
+        const bool info_ok = note_reply(info);
+        if (info_ok) out.serve_nodes = info.num_nodes;
+        const bool neigh_ok = note_reply(client.Neighbors(0));
+        out.serve_queried = ping_ok && info_ok && neigh_ok;
+      }
+      client.Close();
+      // A fresh connection after the carnage: the armed fault has fired
+      // by now (or never applied here), so this must always work.
+      serve::Client fresh;
+      IoResult fc = fresh.Connect(sopts.listen, 10.0);
+      if (!fc.ok) out.errors.push_back(fc.error);
+      out.serve_alive_after = fc.ok && fresh.Ping().ok();
+      fresh.Close();
+      server.Stop();
+    }
+  }
   return out;
 }
 
@@ -208,10 +250,22 @@ void CheckInvariants(const PipelineOutcome& out,
   if (out.read_edgelist) {
     EXPECT_EQ(out.roundtrip_fp, baseline.roundtrip_fp) << context;
   }
-  if (out.read_binary) EXPECT_EQ(out.binary_fp, baseline.binary_fp) << context;
-  if (out.copied_pack) EXPECT_EQ(out.copy_fp, baseline.copy_fp) << context;
+  if (out.read_binary) {
+    EXPECT_EQ(out.binary_fp, baseline.binary_fp) << context;
+  }
+  if (out.copied_pack) {
+    EXPECT_EQ(out.copy_fp, baseline.copy_fp) << context;
+  }
   if (out.loaded_ordering) {
     EXPECT_EQ(out.loaded_perm, baseline.perm) << context;
+  }
+  // A daemon that managed to bind must still be serving at the end of
+  // the run, whatever single fault was injected along the way.
+  if (out.serve_started) {
+    EXPECT_TRUE(out.serve_alive_after) << context;
+  }
+  if (out.serve_queried) {
+    EXPECT_EQ(out.serve_nodes, baseline.serve_nodes) << context;
   }
   // Every failure surfaced with a message, not silently.
   for (const std::string& error : out.errors) {
@@ -256,6 +310,8 @@ TEST_F(FaultSweepTest, BaselineCoversEveryRegisteredFailpoint) {
   EXPECT_TRUE(baseline.copied_pack);
   EXPECT_TRUE(baseline.saved_ordering && baseline.loaded_ordering);
   EXPECT_TRUE(baseline.wrote_trace);
+  EXPECT_TRUE(baseline.serve_started && baseline.serve_queried &&
+              baseline.serve_alive_after);
   CheckArtifacts(root_ + "/baseline", baseline);
 
   // Coverage: a registered point the pipeline never reaches is dead

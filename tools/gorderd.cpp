@@ -1,0 +1,143 @@
+// gorderd — ordering-as-a-service daemon (DESIGN.md §16).
+//
+// Serves graph queries (neighbours, BFS/SP from a source, PageRank
+// top-k, "order this uploaded edge list") over the length-prefixed
+// binary protocol of serve/protocol.h, against a graph snapshot that is
+// typically an mmap'd .gpack — zero-copy, shared read-only across all
+// worker threads. A kSwapPack request republishes a new pack atomically
+// while in-flight readers drain on the old epoch.
+//
+// Usage:
+//   gorderd --listen=unix:/tmp/gorderd.sock --pack=graph.gpack
+//   gorderd --listen=tcp:7077 --in=graph.txt [--serve-threads=4]
+//           [--queue-capacity=128] [--max-connections=64]
+//           [--no-swap] [--no-shutdown] [--max-seconds=N]
+//           [--threads=N] [--quiet] [--json-out=f] [--trace-out=f]
+//           [--failpoints=spec]
+//
+// `--listen=tcp:0` binds an ephemeral port. Once serving, the daemon
+// prints exactly one line to stdout —
+//
+//   LISTENING <resolved address>
+//
+// — and flushes, so scripts can wait for readiness and learn the port
+// without races. It then blocks until a client sends kShutdown (or
+// --max-seconds elapses, for CI smoke jobs), drains, and exits 0.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/gorder_lib.h"
+#include "util/failpoint.h"
+
+namespace gorder {
+namespace {
+
+void ArmFailpointsFlag(const std::string& spec) {
+  if (spec.empty()) return;
+#if defined(GORDER_FAILPOINTS_ENABLED)
+  std::string error;
+  if (!util::ArmFailpointsFromSpec(spec, &error)) {
+    std::fprintf(stderr, "--failpoints: %s\n", error.c_str());
+    std::exit(2);
+  }
+#else
+  std::fprintf(stderr,
+               "--failpoints requires a -DGORDER_FAILPOINTS=ON build; "
+               "this binary has fault injection compiled out\n");
+  std::exit(2);
+#endif
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.Has("threads")) {
+    SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
+  }
+  if (flags.GetBool("quiet", false)) SetLogLevel(LogLevel::kQuiet);
+  ArmFailpointsFlag(flags.GetString("failpoints", ""));
+  obs::RunOptions run;
+  run.bench = "gorderd";
+  run.flags = flags.Raw();
+  run.json_out = flags.GetString("json-out", "");
+  run.trace_out = flags.GetString("trace-out", "");
+  obs::StartRun(run);
+
+  serve::ServerOptions opts;
+  const std::string listen = flags.GetString("listen", "");
+  std::string parse_error;
+  if (listen.empty() ||
+      !util::ParseNetAddress(listen, &opts.listen, &parse_error)) {
+    std::fprintf(stderr,
+                 "usage: gorderd --listen=unix:/path|tcp:PORT "
+                 "--pack=f.gpack|--in=<graph file>\n%s\n",
+                 parse_error.c_str());
+    return 2;
+  }
+  opts.serve_threads = static_cast<int>(flags.GetInt("serve-threads", 2));
+  opts.queue_capacity = static_cast<int>(flags.GetInt("queue-capacity", 128));
+  opts.max_connections = static_cast<int>(flags.GetInt("max-connections", 64));
+  opts.allow_swap = !flags.GetBool("no-swap", false);
+  opts.allow_shutdown = !flags.GetBool("no-shutdown", false);
+  if (opts.serve_threads < 1 || opts.queue_capacity < 1 ||
+      opts.max_connections < 1) {
+    std::fprintf(stderr,
+                 "error: --serve-threads, --queue-capacity and "
+                 "--max-connections must be positive\n");
+    return 2;
+  }
+
+  const std::string pack = flags.GetString("pack", "");
+  const std::string in = pack.empty() ? flags.GetString("in", "") : pack;
+  if (in.empty()) {
+    std::fprintf(stderr, "error: gorderd needs --pack=<f.gpack> or --in\n");
+    return 2;
+  }
+  Graph g;
+  IoResult r = EndsWith(in, ".gpack") ? store::LoadPack(in, &g)
+               : EndsWith(in, ".bin") ? ReadBinary(in, &g)
+                                      : ReadEdgeList(in, &g);
+  if (!r.ok) {
+    std::fprintf(stderr, "error: %s\n", r.error.c_str());
+    return 1;
+  }
+  GORDER_LOG_INFO("gorderd: serving n=%u m=%llu from %s%s\n", g.NumNodes(),
+                  static_cast<unsigned long long>(g.NumEdges()), in.c_str(),
+                  g.IsMapped() ? " (zero-copy mmap)" : "");
+
+  serve::Server server(std::move(g), opts);
+  r = server.Start();
+  if (!r.ok) {
+    std::fprintf(stderr, "error: %s\n", r.error.c_str());
+    return 1;
+  }
+  util::NetAddress bound = server.options().listen;
+  if (!bound.is_unix && bound.port == 0) bound.port = server.Port();
+  std::printf("LISTENING %s\n", bound.ToString().c_str());
+  std::fflush(stdout);
+
+  const double max_seconds = flags.GetDouble("max-seconds", 0.0);
+  if (max_seconds > 0) {
+    if (!server.WaitForShutdown(max_seconds)) {
+      GORDER_LOG_INFO("gorderd: --max-seconds=%.1f elapsed, draining\n",
+                      max_seconds);
+    }
+  } else {
+    while (!server.WaitForShutdown(3600.0)) {
+    }
+  }
+  server.Stop();
+  GORDER_LOG_INFO("gorderd: stopped\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gorder
+
+int main(int argc, char** argv) { return gorder::Run(argc, argv); }

@@ -45,9 +45,11 @@
 #include "graph/subgraph.h"
 #include "harness/experiment.h"
 #include "harness/ranking.h"
+#include "obs/expo.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/reqtrace.h"
 #include "obs/trace.h"
 #include "order/annealing.h"
 #include "order/exact.h"
@@ -58,9 +60,11 @@
 #include "order/ordering.h"
 #include "order/parallel_gorder.h"
 #include "order/unit_heap.h"
+#include "serve/admin.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "serve/stats.h"
 #include "store/fingerprint.h"
 #include "store/gpack.h"
 #include "store/mapped_file.h"

@@ -1,7 +1,9 @@
 #include "obs/json.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace gorder::obs {
 
@@ -86,6 +88,221 @@ void JsonWriter::Null() {
   MaybeComma();
   out_ += "null";
   need_comma_ = true;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with a hard depth cap
+/// (kStats documents nest 4 deep; 64 is generous and keeps adversarial
+/// input from exhausting the stack).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    if (!Value(out, 0)) {
+      if (error != nullptr) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, " at byte %zu", pos_);
+        *error = message_ + buf;
+      }
+      return false;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) *error = "trailing data after document";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const char* message) {
+    if (message_.empty()) message_ = message;
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char want) {
+    if (pos_ >= text_.size() || text_[pos_] != want) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return Fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("truncated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Fail("bad \\u escape");
+            }
+            // The writer only emits \u00XX for control bytes; decode the
+            // Latin-1 range and reject anything wider (no UTF-16 pairs).
+            if (code > 0xFF) return Fail("unsupported \\u escape");
+            out->push_back(static_cast<char>(code));
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    // Full RFC 8259 grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    // Leading zeros ("01"), bare signs and dangling exponents ("1e") are
+    // rejected rather than best-effort-parsed: metrics consumers round-
+    // trip these documents and must agree on what a number is.
+    const std::size_t start = pos_;
+    if (Consume('-')) { /* sign consumed */ }
+    auto digit = [&] {
+      return pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9';
+    };
+    if (!digit()) return Fail("bad number");
+    bool integral = true;
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (digit()) ++pos_;
+    }
+    if (Consume('.')) {
+      integral = false;
+      if (!digit()) return Fail("bad number");
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digit()) return Fail("bad number");
+      while (digit()) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out->kind = JsonValue::Kind::kNumber;
+    out->num = std::strtod(token.c_str(), nullptr);
+    if (integral && token[0] != '-') {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long u = std::strtoull(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        out->is_uint = true;
+        out->uint = u;
+      }
+    }
+    return true;
+  }
+
+  bool Value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return Literal("null");
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      case '[': {
+        ++pos_;
+        out->kind = JsonValue::Kind::kArray;
+        SkipSpace();
+        if (Consume(']')) return true;
+        while (true) {
+          out->array.emplace_back();
+          if (!Value(&out->array.back(), depth + 1)) return false;
+          SkipSpace();
+          if (Consume(']')) return true;
+          if (!Consume(',')) return Fail("expected ',' or ']'");
+        }
+      }
+      case '{': {
+        ++pos_;
+        out->kind = JsonValue::Kind::kObject;
+        SkipSpace();
+        if (Consume('}')) return true;
+        while (true) {
+          SkipSpace();
+          std::string key;
+          if (!ParseString(&key)) return false;
+          SkipSpace();
+          if (!Consume(':')) return Fail("expected ':'");
+          if (!Value(&out->object[key], depth + 1)) return false;
+          SkipSpace();
+          if (Consume('}')) return true;
+          if (!Consume(',')) return Fail("expected ',' or '}'");
+        }
+      }
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string message_;
+};
+
+}  // namespace
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
+  *out = JsonValue();
+  Parser parser(text);
+  return parser.Parse(out, error);
 }
 
 void JsonWriter::AppendEscaped(std::string& out, std::string_view s) {

@@ -1,18 +1,22 @@
 #ifndef GORDER_OBS_JSON_H_
 #define GORDER_OBS_JSON_H_
 
-/// Minimal streaming JSON writer — the repo's only JSON dependency.
-/// Produces compact, strictly valid output: strings are escaped per RFC
-/// 8259 (quote, backslash, control characters as \u00XX) and non-finite
-/// doubles are emitted as null (JSON has no NaN/Inf).
+/// Minimal JSON writer and parser — the repo's only JSON dependency.
+/// The writer produces compact, strictly valid output: strings are
+/// escaped per RFC 8259 (quote, backslash, control characters as \u00XX)
+/// and non-finite doubles are emitted as null (JSON has no NaN/Inf).
+/// The parser (ParseJson) reads back what the writer produces — it
+/// exists so gordertop can consume kStats snapshots.
 ///
 /// Usage is push-style and state-checked only by convention: callers
 /// alternate Key()/value inside objects and bare values inside arrays.
 /// Commas are inserted automatically.
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace gorder::obs {
 
@@ -79,6 +83,48 @@ class JsonWriter {
   std::string out_;
   bool need_comma_ = false;
 };
+
+/// Parsed JSON value. Numbers keep both spellings: `num` always holds
+/// the double value; `is_uint`/`uint` additionally hold an exact u64
+/// when the token was a plain non-negative integer (metric counters
+/// exceed 2^53, so the double alone would silently round).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double num = 0.0;
+  bool is_uint = false;
+  std::uint64_t uint = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  // Insertion-ordered lookup is unnecessary; metric maps are sorted.
+  std::map<std::string, JsonValue> object;
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+
+  /// Numeric member as u64 (rounded from double if needed); `fallback`
+  /// when absent or non-numeric.
+  std::uint64_t U64(const std::string& key, std::uint64_t fallback = 0) const {
+    const JsonValue* v = Find(key);
+    if (v == nullptr || v->kind != Kind::kNumber) return fallback;
+    return v->is_uint ? v->uint : static_cast<std::uint64_t>(v->num);
+  }
+};
+
+/// Parses one complete JSON document (RFC 8259 subset: no \uXXXX escape
+/// decoding beyond ASCII passthrough of the writer's own output).
+/// Returns false and fills `error` (with byte offset) on malformed
+/// input; trailing non-whitespace after the document is an error.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
 
 }  // namespace gorder::obs
 

@@ -14,6 +14,7 @@
 #endif
 
 #include "cachesim/hw_counters.h"
+#include "obs/expo.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -120,6 +121,16 @@ void WriteHwJson(JsonWriter& json, const cachesim::HwStats& hw) {
   json.KV("llc_miss_rate", hw.LlcMissRate());
   json.KV("multiplexed", hw.multiplexed);
   json.KV("min_running_fraction", hw.MinRunningFraction());
+  json.EndObject();
+}
+
+void WriteWindowJson(JsonWriter& json, const WindowSnapshot& w) {
+  json.BeginObject();
+  json.KV("count", w.count);
+  json.KV("sum", w.sum);
+  json.KV("p50", w.p50);
+  json.KV("p99", w.p99);
+  json.KV("p999", w.p999);
   json.EndObject();
 }
 
@@ -247,6 +258,22 @@ std::string RenderRunReportJson() {
     json.BeginArray();
     for (std::uint64_t b : h.buckets) json.Uint(b);
     json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+
+  // Minor 3: the live-latency windows at report time. Empty for runs
+  // that never touched a WindowedHistogram (all bench binaries today);
+  // gorderd populates one per active opcode.
+  json.Key("windows");
+  json.BeginObject();
+  for (const WindowedDump& w : DumpWindowed()) {
+    json.Key(w.name);
+    json.BeginObject();
+    json.Key("10s");
+    WriteWindowJson(json, w.short_window);
+    json.Key("60s");
+    WriteWindowJson(json, w.long_window);
     json.EndObject();
   }
   json.EndObject();

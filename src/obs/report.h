@@ -24,7 +24,10 @@ inline constexpr int kReportSchemaVersion = 1;
 // Minor 1: store.* metrics and spans (src/store pack + ordering cache).
 // Minor 2: serve.*/loadgen.*/net.* metrics and spans (gorderd daemon +
 //          its open-loop load generator).
-inline constexpr int kReportSchemaMinorVersion = 2;
+// Minor 3: "windows" section — per-WindowedHistogram 10s/60s
+//          count/sum/p50/p99/p999 at report time (the live-latency view
+//          the daemon exposes via kStats and /metrics).
+inline constexpr int kReportSchemaMinorVersion = 3;
 
 /// Host/build identity captured in every report, so a number is never
 /// compared against a number from a different machine unknowingly.

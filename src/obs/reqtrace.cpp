@@ -1,0 +1,70 @@
+#include "obs/reqtrace.h"
+
+#include <algorithm>
+
+namespace gorder::obs {
+
+void ReqTraceRing::Push(const ReqTraceRecord& rec) {
+  const std::uint64_t index = head_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& s = slots_[index % kCapacity];
+  // Seqlock publish: odd while writing, even-and-index-stamped when done.
+  s.seq.store(2 * index + 1, std::memory_order_release);
+  s.trace_id.store(rec.trace_id, std::memory_order_relaxed);
+  s.start_us.store(rec.start_us, std::memory_order_relaxed);
+  s.queue_us.store(rec.queue_us, std::memory_order_relaxed);
+  s.exec_us.store(rec.exec_us, std::memory_order_relaxed);
+  s.bytes_in.store(rec.bytes_in, std::memory_order_relaxed);
+  s.bytes_out.store(rec.bytes_out, std::memory_order_relaxed);
+  s.epoch.store(rec.epoch, std::memory_order_relaxed);
+  s.opcode.store(rec.opcode, std::memory_order_relaxed);
+  s.status.store(rec.status, std::memory_order_relaxed);
+  s.slow.store(rec.slow, std::memory_order_relaxed);
+  s.seq.store(2 * index + 2, std::memory_order_release);
+  // Two writers a full ring-wrap apart can interleave on one slot; the
+  // sequence check below rejects the loser's half-written view. Fields
+  // are individually atomic, so even that interleaving is race-free.
+}
+
+std::vector<ReqTraceRecord> ReqTraceRing::SnapshotRecent(
+    std::size_t max_records) const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  std::vector<ReqTraceRecord> out;
+  out.reserve(std::min<std::uint64_t>(max_records, kCapacity));
+  const std::uint64_t oldest = head > kCapacity ? head - kCapacity : 0;
+  for (std::uint64_t index = head; index-- > oldest;) {
+    if (out.size() >= max_records) break;
+    const Slot& s = slots_[index % kCapacity];
+    const std::uint64_t want = 2 * index + 2;
+    if (s.seq.load(std::memory_order_acquire) != want) continue;
+    ReqTraceRecord rec;
+    rec.trace_id = s.trace_id.load(std::memory_order_relaxed);
+    rec.start_us = s.start_us.load(std::memory_order_relaxed);
+    rec.queue_us = s.queue_us.load(std::memory_order_relaxed);
+    rec.exec_us = s.exec_us.load(std::memory_order_relaxed);
+    rec.bytes_in = s.bytes_in.load(std::memory_order_relaxed);
+    rec.bytes_out = s.bytes_out.load(std::memory_order_relaxed);
+    rec.epoch = s.epoch.load(std::memory_order_relaxed);
+    rec.opcode = static_cast<std::uint16_t>(
+        s.opcode.load(std::memory_order_relaxed));
+    rec.status = static_cast<std::uint16_t>(
+        s.status.load(std::memory_order_relaxed));
+    rec.slow = s.slow.load(std::memory_order_relaxed);
+    // Re-check: a writer that started overwriting this slot mid-copy
+    // bumped (or will bump) seq away from `want`.
+    if (s.seq.load(std::memory_order_acquire) != want) continue;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+void ReqTraceRing::ResetForTest() {
+  head_.store(0, std::memory_order_release);
+  for (Slot& s : slots_) s.seq.store(0, std::memory_order_release);
+}
+
+ReqTraceRing& GlobalReqTraceRing() {
+  static ReqTraceRing* ring = new ReqTraceRing;
+  return *ring;
+}
+
+}  // namespace gorder::obs

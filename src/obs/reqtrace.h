@@ -1,0 +1,92 @@
+#ifndef GORDER_OBS_REQTRACE_H_
+#define GORDER_OBS_REQTRACE_H_
+
+/// Per-request trace ring (DESIGN.md §17).
+///
+/// The serving path assigns every decoded request a 64-bit trace id and,
+/// for a sampled subset (1-in-N, plus every slow request), pushes one
+/// fixed-size record — queue wait, execute time, bytes in/out, epoch,
+/// opcode, status — into a global fixed-capacity ring. `/tracez` and the
+/// run report read the most recent records; old ones are overwritten.
+///
+/// Concurrency: completely lock-free. Writers claim a slot with a
+/// fetch_add on the head index and publish via a per-slot sequence
+/// number (odd while mid-write, even == index+records-written when
+/// complete). Readers copy the slot then re-check the sequence; a torn
+/// read is detected and the record skipped. Every field is atomic, so
+/// TSan sees no races even while 8 writers hammer a reader.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace gorder::obs {
+
+/// One completed (or overload-rejected) request, all times in
+/// microseconds relative to obs::NowSeconds()'s epoch.
+struct ReqTraceRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t start_us = 0;     // when the request was decoded
+  std::uint64_t queue_us = 0;     // decode -> worker pickup
+  std::uint64_t exec_us = 0;      // worker pickup -> reply encoded
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t epoch = 0;        // store epoch the request executed on
+  std::uint16_t opcode = 0;
+  std::uint16_t status = 0;
+  bool slow = false;              // exceeded --slow-request-ms
+};
+
+/// Fixed-capacity overwrite-oldest trace ring. Push never blocks and
+/// never allocates; SnapshotRecent allocates only its result vector.
+class ReqTraceRing {
+ public:
+  static constexpr std::uint64_t kCapacity = 1024;  // power of two
+
+  ReqTraceRing() = default;
+  ReqTraceRing(const ReqTraceRing&) = delete;
+  ReqTraceRing& operator=(const ReqTraceRing&) = delete;
+
+  void Push(const ReqTraceRecord& rec);
+
+  /// The most recent `max_records` fully published records, newest
+  /// first. Records being overwritten mid-read are skipped.
+  std::vector<ReqTraceRecord> SnapshotRecent(std::size_t max_records) const;
+
+  /// Total records ever pushed (monotonic; exceeds kCapacity once the
+  /// ring has wrapped).
+  std::uint64_t TotalPushed() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Clears the ring. Only safe with no concurrent writers.
+  void ResetForTest();
+
+ private:
+  struct alignas(64) Slot {
+    // seq == 2*(push index)+2 when slot holds push #index; odd while a
+    // writer is mid-publish; 0 when never written.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> start_us{0};
+    std::atomic<std::uint64_t> queue_us{0};
+    std::atomic<std::uint64_t> exec_us{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<std::uint32_t> opcode{0};
+    std::atomic<std::uint32_t> status{0};
+    std::atomic<bool> slow{false};
+  };
+
+  std::atomic<std::uint64_t> head_{0};  // next push index
+  Slot slots_[kCapacity];
+};
+
+/// The process-wide ring `/tracez` and the server publish into
+/// (leak-on-purpose, same policy as the metric registry).
+ReqTraceRing& GlobalReqTraceRing();
+
+}  // namespace gorder::obs
+
+#endif  // GORDER_OBS_REQTRACE_H_

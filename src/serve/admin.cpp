@@ -1,0 +1,187 @@
+#include "serve/admin.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include "obs/metrics.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace gorder::serve {
+
+namespace {
+
+GORDER_FAILPOINT_DEFINE(fp_admin_accept, "net.admin.accept");
+GORDER_FAILPOINT_DEFINE(fp_admin_read, "net.admin.read");
+GORDER_FAILPOINT_DEFINE(fp_admin_write, "net.admin.write");
+
+GORDER_OBS_COUNTER(c_admin_requests, "admin.requests");
+GORDER_OBS_COUNTER(c_admin_bad_requests, "admin.bad_requests");
+
+const char* ReasonPhrase(int status_code) {
+  switch (status_code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+}  // namespace
+
+AdminParse ParseAdminRequest(std::string_view data, AdminRequest* out) {
+  // The head ends at the first blank line ("\r\n\r\n", or "\n\n" from
+  // hand-typed netcat input).
+  std::size_t head_end = data.find("\r\n\r\n");
+  std::size_t terminator = 4;
+  if (head_end == std::string_view::npos) {
+    head_end = data.find("\n\n");
+    terminator = 2;
+  }
+  if (head_end == std::string_view::npos) {
+    return data.size() > kMaxAdminRequestBytes ? AdminParse::kBad
+                                               : AdminParse::kNeedMore;
+  }
+  if (head_end + terminator > kMaxAdminRequestBytes) return AdminParse::kBad;
+  std::string_view head = data.substr(0, head_end);
+  // Request line is the first line: METHOD SP PATH SP VERSION.
+  std::size_t line_end = head.find('\n');
+  std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return AdminParse::kBad;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return AdminParse::kBad;
+  std::string_view version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/", 0) != 0) return AdminParse::kBad;
+  std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (path.empty() || path[0] != '/') return AdminParse::kBad;
+  for (char c : line) {
+    if (static_cast<unsigned char>(c) < 0x20) return AdminParse::kBad;
+  }
+  out->method = std::string(line.substr(0, sp1));
+  out->path = std::string(path);
+  return AdminParse::kOk;
+}
+
+std::string RenderHttpResponse(int status_code, std::string_view content_type,
+                               std::string_view body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status_code) + " " +
+                    ReasonPhrase(status_code) + "\r\n";
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string HandleAdminRequest(const AdminRequest& req,
+                               const AdminHandlers& handlers) {
+  if (req.method != "GET") {
+    return RenderHttpResponse(405, "text/plain", "method not allowed\n");
+  }
+  // Strip a query string: Prometheus may append one to the scrape path.
+  std::string path = req.path.substr(0, req.path.find('?'));
+  if (path == "/metrics") {
+    return RenderHttpResponse(200, "text/plain; version=0.0.4",
+                              handlers.metrics_text());
+  }
+  if (path == "/healthz") {
+    return RenderHttpResponse(200, "text/plain", handlers.healthz_text());
+  }
+  if (path == "/tracez") {
+    return RenderHttpResponse(200, "application/json",
+                              handlers.tracez_json());
+  }
+  return RenderHttpResponse(404, "text/plain", "not found\n");
+}
+
+IoResult AdminListener::Start(const util::NetAddress& addr,
+                              AdminHandlers handlers) {
+  IoResult r = util::ListenSocket(addr, &listener_);
+  if (!r.ok) return r;
+  handlers_ = std::move(handlers);
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { ServeLoop(); });
+  running_ = true;
+  return IoResult::Ok();
+}
+
+void AdminListener::Stop() {
+  if (!running_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  listener_.ShutdownBoth();
+  if (thread_.joinable()) thread_.join();
+  listener_.Close();
+  running_ = false;
+}
+
+void AdminListener::ServeLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    if (GORDER_FAILPOINT(fp_admin_accept) != util::FaultKind::kNone) {
+      // Same degradation as the query-plane accept loop: log, pause,
+      // keep listening. The admin plane must never crash the daemon.
+      GORDER_LOG_DEBUG("admin: accept failed (injected)\n");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    util::Socket sock;
+    IoResult r = util::AcceptSocket(listener_, &sock);
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    if (!r.ok) {
+      GORDER_LOG_DEBUG("admin: accept failed: %s\n", r.error.c_str());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    // Bound every peer interaction: a wedged scraper must not block the
+    // next one past this.
+    timeval tv{5, 0};
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    ServeOne(std::move(sock));
+  }
+}
+
+void AdminListener::ServeOne(util::Socket sock) {
+  std::string buf;
+  AdminRequest req;
+  AdminParse parsed = AdminParse::kNeedMore;
+  while (parsed == AdminParse::kNeedMore &&
+         buf.size() <= kMaxAdminRequestBytes) {
+    char chunk[1024];
+    if (GORDER_FAILPOINT(fp_admin_read) != util::FaultKind::kNone) {
+      GORDER_LOG_DEBUG("admin: read failed (injected)\n");
+      return;
+    }
+    std::size_t got = 0;
+    IoResult r = util::ReadSome(sock, chunk, sizeof(chunk), &got);
+    if (!r.ok || got == 0) return;  // error or EOF before a full head
+    buf.append(chunk, got);
+    parsed = ParseAdminRequest(buf, &req);
+  }
+  std::string response;
+  if (parsed == AdminParse::kOk) {
+    GORDER_OBS_INC(c_admin_requests);
+    response = HandleAdminRequest(req, handlers_);
+  } else {
+    GORDER_OBS_INC(c_admin_bad_requests);
+    response = RenderHttpResponse(400, "text/plain", "bad request\n");
+  }
+  if (GORDER_FAILPOINT(fp_admin_write) != util::FaultKind::kNone) {
+    GORDER_LOG_DEBUG("admin: write failed (injected)\n");
+    return;
+  }
+  IoResult w = util::WriteFull(sock, response.data(), response.size());
+  if (!w.ok) {
+    GORDER_LOG_DEBUG("admin: write failed: %s\n", w.error.c_str());
+  }
+}
+
+}  // namespace gorder::serve

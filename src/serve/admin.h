@@ -1,0 +1,103 @@
+#ifndef GORDER_SERVE_ADMIN_H_
+#define GORDER_SERVE_ADMIN_H_
+
+/// gorderd admin surface (DESIGN.md §17): a dedicated listener speaking
+/// just enough HTTP/1.0 that `curl` and a Prometheus scraper work
+/// without the binary protocol.
+///
+///   GET /metrics   Prometheus text format (obs/expo.h)
+///   GET /healthz   "ok\n" while the daemon serves
+///   GET /tracez    JSON dump of the sampled request-trace ring
+///
+/// One request per connection, response closes the socket (HTTP/1.0
+/// semantics; scrape traffic is low-rate, so connection reuse buys
+/// nothing and keep-alive state machines are where HTTP bugs live).
+/// The request parser is a pure function over bytes — the ASan fuzz
+/// suite feeds it adversarial input directly — and caps header size at
+/// kMaxAdminRequestBytes before any allocation growth.
+///
+/// Failpoints `net.admin.accept`, `net.admin.read`, `net.admin.write`
+/// cover the three syscall sites, proving (fault-sweep suite) that an
+/// injected admin-plane failure never takes down the query plane.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "util/io_result.h"
+#include "util/net.h"
+
+namespace gorder::serve {
+
+/// Hard cap on the bytes of one admin request head. A peer that sends
+/// more before the blank line is answered 400 and closed.
+inline constexpr std::size_t kMaxAdminRequestBytes = 8192;
+
+enum class AdminParse {
+  kNeedMore,  // no blank line yet; read more (caller enforces the cap)
+  kOk,        // request line parsed
+  kBad,       // malformed request line / oversized head
+};
+
+struct AdminRequest {
+  std::string method;  // "GET"
+  std::string path;    // "/metrics" (query strings are kept verbatim)
+};
+
+/// Parses one HTTP request head out of `data` (everything up to the
+/// first blank line). Headers after the request line are ignored —
+/// routing needs only the method and path.
+AdminParse ParseAdminRequest(std::string_view data, AdminRequest* out);
+
+/// Renders a complete HTTP/1.0 response with Content-Length and
+/// Connection: close.
+std::string RenderHttpResponse(int status_code, std::string_view content_type,
+                               std::string_view body);
+
+/// Content callbacks for the three routes; each returns the body.
+struct AdminHandlers {
+  std::function<std::string()> metrics_text;  // /metrics
+  std::function<std::string()> healthz_text;  // /healthz
+  std::function<std::string()> tracez_json;   // /tracez
+};
+
+/// Pure routing: full HTTP response for a parsed request (405 for
+/// non-GET, 404 for unknown paths).
+std::string HandleAdminRequest(const AdminRequest& req,
+                               const AdminHandlers& handlers);
+
+/// The admin listener: one accept thread, requests handled serially
+/// (scrapes are rare and cheap; a serial loop cannot leak threads). A
+/// 5-second socket timeout keeps a wedged peer from blocking the next
+/// scrape forever.
+class AdminListener {
+ public:
+  AdminListener() = default;
+  ~AdminListener() { Stop(); }
+  AdminListener(const AdminListener&) = delete;
+  AdminListener& operator=(const AdminListener&) = delete;
+
+  IoResult Start(const util::NetAddress& addr, AdminHandlers handlers);
+  void Stop();
+
+  bool running() const { return running_; }
+  /// Bound TCP port after Start() on tcp:0; 0 for unix sockets.
+  int Port() const { return listener_.LocalPort(); }
+
+ private:
+  void ServeLoop();
+  void ServeOne(util::Socket sock);
+
+  util::Socket listener_;
+  AdminHandlers handlers_;
+  std::atomic<bool> stopping_{false};
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace gorder::serve
+
+#endif  // GORDER_SERVE_ADMIN_H_

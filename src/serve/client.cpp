@@ -282,4 +282,15 @@ Reply Client::Shutdown() {
   return out;
 }
 
+StatsReply Client::Stats() {
+  StatsReply out;
+  RawReply raw = RoundTrip(Req(Opcode::kStats));
+  if (!BeginDecode(raw, &out)) return out;
+  if (!DecodeStatsBody(reinterpret_cast<const std::byte*>(raw.body.data()),
+                       raw.body.size(), &out.json)) {
+    MarkTruncated(&out);
+  }
+  return out;
+}
+
 }  // namespace gorder::serve

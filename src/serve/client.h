@@ -74,6 +74,10 @@ struct OrderReply : Reply {
   std::vector<NodeId> perm;  // perm[old] = new
 };
 
+struct StatsReply : Reply {
+  std::string json;  // the gorder-stats JSON document, verbatim
+};
+
 /// Raw response as received, for protocol-level tests.
 struct RawReply : Reply {
   std::string body;  // opcode-specific body bytes (error body for !ok)
@@ -105,6 +109,8 @@ class Client {
   /// snapshot; on kOk the reply's `epoch` is the new epoch.
   Reply SwapPack(const std::string& pack_path);
   Reply Shutdown();
+  /// Live metrics snapshot (kStats); `json` holds the document.
+  StatsReply Stats();
 
   /// Sends `frame` verbatim (must include the length prefix) and reads
   /// one response. Conformance/fuzz entry point.

@@ -18,6 +18,7 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kOrder: return "order";
     case Opcode::kSwapPack: return "swap_pack";
     case Opcode::kShutdown: return "shutdown";
+    case Opcode::kStats: return "stats";
   }
   return "?";
 }
@@ -96,6 +97,7 @@ std::string EncodeRequestBody(const Request& req) {
     case Opcode::kPing:
     case Opcode::kInfo:
     case Opcode::kShutdown:
+    case Opcode::kStats:
       break;
     case Opcode::kDegree:
     case Opcode::kNeighbors:
@@ -158,7 +160,7 @@ namespace {
 
 bool ValidOpcode(std::uint16_t raw) {
   return raw >= static_cast<std::uint16_t>(Opcode::kPing) &&
-         raw <= static_cast<std::uint16_t>(Opcode::kShutdown);
+         raw <= static_cast<std::uint16_t>(Opcode::kStats);
 }
 
 DecodeResult Fail(DecodeResult kind, std::string* error, const char* msg) {
@@ -205,6 +207,7 @@ DecodeResult DecodeRequest(const std::byte* data, std::size_t len,
     case Opcode::kPing:
     case Opcode::kInfo:
     case Opcode::kShutdown:
+    case Opcode::kStats:
       break;
     case Opcode::kDegree:
     case Opcode::kNeighbors:
@@ -292,6 +295,23 @@ DecodeResult DecodeResponse(const std::byte* data, std::size_t len,
   *body = data + 4 + kResponsePrefixBytes;
   *body_len = payload_len - kResponsePrefixBytes;
   return DecodeResult::kOk;
+}
+
+std::string EncodeStatsBody(const std::string& json) {
+  std::string body;
+  PutU32(&body, static_cast<std::uint32_t>(json.size()));
+  body.append(json);
+  return body;
+}
+
+bool DecodeStatsBody(const std::byte* body, std::size_t len,
+                     std::string* json) {
+  WireReader r(body, len);
+  std::uint32_t json_len = 0;
+  if (!r.GetU32(&json_len) || r.remaining() < json_len) return false;
+  json->resize(json_len);
+  r.GetBytes(json->data(), json_len);
+  return r.exhausted();
 }
 
 std::uint64_t HashBytes64(const void* data, std::size_t len) {

@@ -68,6 +68,7 @@ enum class Opcode : std::uint16_t {
   kOrder = 8,         // uploaded edge list -> permutation
   kSwapPack = 9,      // pack path -> publishes new snapshot (epoch bumps)
   kShutdown = 10,     // graceful daemon shutdown
+  kStats = 11,        // -> u32 json_len | JSON metrics snapshot
 };
 
 enum class Status : std::uint16_t {
@@ -174,6 +175,15 @@ DecodeResult DecodeResponse(const std::byte* data, std::size_t len,
                             std::size_t* consumed, ResponseHeader* header,
                             const std::byte** body, std::size_t* body_len,
                             std::string* error);
+
+/// kStats response body: `u32 json_len | json` (a UTF-8 JSON document,
+/// shape documented in DESIGN.md §17). Length-prefixed rather than
+/// "rest of payload" so the body can grow trailing fields compatibly.
+std::string EncodeStatsBody(const std::string& json);
+/// False on a malformed body (short prefix, length disagreeing with the
+/// payload size).
+bool DecodeStatsBody(const std::byte* body, std::size_t len,
+                     std::string* json);
 
 /// FNV-1a 64 over raw bytes — the result-vector fingerprint carried in
 /// kBfs/kSp responses so clients can assert bit-identity without

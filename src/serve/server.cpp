@@ -13,9 +13,13 @@
 #include <vector>
 
 #include "algo/algorithms.h"
+#include "obs/expo.h"
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
 #include "obs/trace.h"
 #include "order/ordering.h"
+#include "serve/admin.h"
+#include "serve/stats.h"
 #include "store/gpack.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -35,6 +39,43 @@ GORDER_OBS_COUNTER(c_errors, "serve.error_responses");
 GORDER_OBS_COUNTER(c_swaps, "serve.swaps");
 GORDER_OBS_COUNTER(c_shutdown_reqs, "serve.shutdown_requests");
 GORDER_OBS_HISTOGRAM(h_request_us, "serve.request_us");
+GORDER_OBS_GAUGE(g_queue_depth, "serve.queue_depth");
+GORDER_OBS_COUNTER(c_slow_requests, "serve.slow_requests");
+GORDER_OBS_COUNTER(c_stats_reqs, "serve.stats_requests");
+
+#if !defined(GORDER_OBS_DISABLED)
+// Per-opcode windowed latencies (serve.req_us.<opcode>) — the live p99
+// the admin plane and gordertop read. Resolved once here, not per
+// request: the registry lookup takes a mutex.
+GORDER_OBS_WINDOWED(w_ping, "serve.req_us.ping");
+GORDER_OBS_WINDOWED(w_info, "serve.req_us.info");
+GORDER_OBS_WINDOWED(w_degree, "serve.req_us.degree");
+GORDER_OBS_WINDOWED(w_neighbors, "serve.req_us.neighbors");
+GORDER_OBS_WINDOWED(w_bfs, "serve.req_us.bfs");
+GORDER_OBS_WINDOWED(w_sp, "serve.req_us.sp");
+GORDER_OBS_WINDOWED(w_pagerank, "serve.req_us.pagerank_topk");
+GORDER_OBS_WINDOWED(w_order, "serve.req_us.order");
+GORDER_OBS_WINDOWED(w_swap, "serve.req_us.swap_pack");
+GORDER_OBS_WINDOWED(w_shutdown, "serve.req_us.shutdown");
+GORDER_OBS_WINDOWED(w_stats, "serve.req_us.stats");
+
+obs::WindowedHistogram& WindowedForOpcode(Opcode op) {
+  switch (op) {
+    case Opcode::kPing: return w_ping;
+    case Opcode::kInfo: return w_info;
+    case Opcode::kDegree: return w_degree;
+    case Opcode::kNeighbors: return w_neighbors;
+    case Opcode::kBfs: return w_bfs;
+    case Opcode::kSp: return w_sp;
+    case Opcode::kPageRankTopK: return w_pagerank;
+    case Opcode::kOrder: return w_order;
+    case Opcode::kSwapPack: return w_swap;
+    case Opcode::kShutdown: return w_shutdown;
+    case Opcode::kStats: return w_stats;
+  }
+  return w_ping;  // unreachable: decode rejects unknown opcodes
+}
+#endif  // GORDER_OBS_DISABLED
 
 /// Non-aborting ordering-method lookup (order::MethodFromName aborts,
 /// which a server must never do on client input).
@@ -68,6 +109,9 @@ struct Server::Impl {
   struct QueueItem {
     std::shared_ptr<Conn> conn;
     Request req;
+    std::uint64_t trace_id = 0;
+    double enqueue_s = 0;        // obs::NowSeconds() at decode
+    std::uint64_t bytes_in = 0;  // full frame size, length prefix included
   };
 
   ServerOptions options;
@@ -89,6 +133,9 @@ struct Server::Impl {
 
   std::mutex conns_mu;
   std::vector<std::shared_ptr<Conn>> conns;
+
+  AdminListener admin;
+  std::atomic<std::uint64_t> next_trace_id{1};
 
   std::mutex threads_mu;
   std::thread acceptor;
@@ -257,14 +304,36 @@ struct Server::Impl {
         RequestShutdown();
         return body;
       }
+      case Opcode::kStats: {
+        GORDER_OBS_INC(c_stats_reqs);
+        return EncodeStatsBody(RenderStatsJson(
+            StatsView(snap.epoch), obs::DumpMetrics(), obs::DumpWindowed()));
+      }
     }
     *status = Status::kBadOpcode;
     *message = "unknown opcode";
     return std::string();
   }
 
+  ServerStatsView StatsView(std::uint64_t current_epoch) {
+    ServerStatsView view;
+    view.epoch = current_epoch;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu);
+      view.queue_depth = queue.size();
+      view.in_flight = static_cast<std::uint64_t>(in_flight);
+    }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      view.connections = conns.size();
+    }
+    view.traces_sampled = obs::GlobalReqTraceRing().TotalPushed();
+    return view;
+  }
+
   void ExecuteAndReply(const QueueItem& item) {
     GORDER_OBS_SPAN(span, std::string("serve:req:") + OpcodeName(item.req.opcode));
+    const double picked_s = obs::NowSeconds();
     Timer timer;
     std::shared_ptr<const Snapshot> snap = CurrentSnapshot();
     Status status = Status::kOk;
@@ -272,15 +341,64 @@ struct Server::Impl {
     std::uint64_t reply_epoch = snap->epoch;
     std::string body =
         ExecuteQuery(item.req, *snap, &status, &message, &reply_epoch);
+    std::uint64_t bytes_out = 4 + kResponsePrefixBytes;
     if (status == Status::kOk) {
+      bytes_out += body.size();
       SendResponse(item.conn, {item.req.id, status, reply_epoch}, body);
     } else {
       GORDER_OBS_INC(c_errors);
-      SendResponse(item.conn, {item.req.id, status, reply_epoch},
-                   ErrorBody(message));
+      std::string err = ErrorBody(message);
+      bytes_out += err.size();
+      SendResponse(item.conn, {item.req.id, status, reply_epoch}, err);
     }
-    GORDER_OBS_OBSERVE(h_request_us,
-                       static_cast<std::uint64_t>(timer.Seconds() * 1e6));
+    const auto exec_us = static_cast<std::uint64_t>(timer.Seconds() * 1e6);
+    GORDER_OBS_OBSERVE(h_request_us, exec_us);
+    GORDER_OBS_WRECORD(WindowedForOpcode(item.req.opcode), exec_us);
+    FinishTrace(item, status, reply_epoch, picked_s, exec_us, bytes_out);
+  }
+
+  /// Trace sampling + slow-request accounting, after the reply is sent.
+  void FinishTrace(const QueueItem& item, Status status,
+                   std::uint64_t reply_epoch, double picked_s,
+                   std::uint64_t exec_us, std::uint64_t bytes_out) {
+    if (!obs::Enabled()) return;  // GORDER_OBS=off: tracing fully off
+    const auto queue_us = item.enqueue_s > 0 && picked_s > item.enqueue_s
+                              ? static_cast<std::uint64_t>(
+                                    (picked_s - item.enqueue_s) * 1e6)
+                              : 0;
+    const bool slow =
+        options.slow_request_ms > 0 &&
+        queue_us + exec_us >=
+            static_cast<std::uint64_t>(options.slow_request_ms) * 1000;
+    const bool sampled = options.trace_sample > 0 &&
+                         item.trace_id % options.trace_sample == 0;
+    if (!slow && !sampled) return;
+    obs::ReqTraceRecord rec;
+    rec.trace_id = item.trace_id;
+    rec.start_us = static_cast<std::uint64_t>(item.enqueue_s * 1e6);
+    rec.queue_us = queue_us;
+    rec.exec_us = exec_us;
+    rec.bytes_in = item.bytes_in;
+    rec.bytes_out = bytes_out;
+    rec.epoch = reply_epoch;
+    rec.opcode = static_cast<std::uint16_t>(item.req.opcode);
+    rec.status = static_cast<std::uint16_t>(status);
+    rec.slow = slow;
+    obs::GlobalReqTraceRing().Push(rec);
+    if (slow) {
+      GORDER_OBS_INC(c_slow_requests);
+      GORDER_LOG_INFO(
+          "gorderd: slow-request trace_id=%llu opcode=%s status=%s "
+          "queue_us=%llu exec_us=%llu bytes_in=%llu bytes_out=%llu "
+          "epoch=%llu\n",
+          static_cast<unsigned long long>(item.trace_id),
+          OpcodeName(item.req.opcode), StatusName(status),
+          static_cast<unsigned long long>(queue_us),
+          static_cast<unsigned long long>(exec_us),
+          static_cast<unsigned long long>(item.bytes_in),
+          static_cast<unsigned long long>(bytes_out),
+          static_cast<unsigned long long>(reply_epoch));
+    }
   }
 
   std::uint64_t PublishGraph(Graph g) {
@@ -313,6 +431,8 @@ struct Server::Impl {
         }
         item = std::move(queue.front());
         queue.pop_front();
+        GORDER_OBS_SET(g_queue_depth,
+                       static_cast<std::int64_t>(queue.size()));
         ++in_flight;
       }
       if (execute_hook) execute_hook(item.req);
@@ -410,12 +530,21 @@ struct Server::Impl {
       }
       // Admission control: a full queue answers immediately instead of
       // buffering without bound (explicit backpressure).
+      QueueItem item;
+      item.conn = conn;
+      item.trace_id =
+          next_trace_id.fetch_add(1, std::memory_order_relaxed);
+      item.enqueue_s = obs::NowSeconds();
+      item.bytes_in = frame.size();
+      item.req = std::move(req);
       bool enqueued = false;
       {
         std::lock_guard<std::mutex> lock(queue_mu);
         if (queue.size() <
             static_cast<std::size_t>(options.queue_capacity)) {
-          queue.push_back(QueueItem{conn, std::move(req)});
+          queue.push_back(std::move(item));
+          GORDER_OBS_SET(g_queue_depth,
+                         static_cast<std::int64_t>(queue.size()));
           enqueued = true;
         }
       }
@@ -423,7 +552,8 @@ struct Server::Impl {
         queue_cv.notify_one();
       } else {
         GORDER_OBS_INC(c_overloaded);
-        SendError(conn, req.id, Status::kOverloaded, "request queue full");
+        SendError(conn, item.req.id, Status::kOverloaded,
+                  "request queue full");
       }
     }
     RetireConn(conn);
@@ -480,8 +610,27 @@ Server::~Server() {
 
 IoResult Server::Start() {
   GORDER_CHECK(!impl_->started.load());
+  if (impl_->options.admin_enabled) {
+    AdminHandlers handlers;
+    handlers.metrics_text = [] { return obs::RenderPrometheusText(); };
+    handlers.healthz_text = [] { return std::string("ok\n"); };
+    handlers.tracez_json = [] {
+      obs::ReqTraceRing& ring = obs::GlobalReqTraceRing();
+      return RenderTracezJson(ring.TotalPushed(), ring.SnapshotRecent(256));
+    };
+    IoResult a = impl_->admin.Start(impl_->options.admin_listen,
+                                    std::move(handlers));
+    if (!a.ok) {
+      return IoResult::Error("admin listener: " + a.error);
+    }
+    GORDER_LOG_INFO("gorderd: admin plane on %s\n",
+                    impl_->options.admin_listen.ToString().c_str());
+  }
   IoResult r = util::ListenSocket(impl_->options.listen, &impl_->listener);
-  if (!r.ok) return r;
+  if (!r.ok) {
+    impl_->admin.Stop();
+    return r;
+  }
   impl_->started.store(true);
   impl_->stopping.store(false);
   {
@@ -500,6 +649,9 @@ IoResult Server::Start() {
 void Server::Stop() {
   if (!impl_->started.load()) return;
   if (impl_->stopping.exchange(true)) return;
+  // 0. The admin plane goes first: a scrape racing teardown would read
+  //    half-dismantled state.
+  impl_->admin.Stop();
   // 1. Break the acceptor out of accept() and join it, so no new reader
   //    threads can be registered while we collect the ones to join.
   impl_->listener.ShutdownBoth();
@@ -558,6 +710,8 @@ std::uint64_t Server::Epoch() const {
 }
 
 int Server::Port() const { return impl_->listener.LocalPort(); }
+
+int Server::AdminPort() const { return impl_->admin.Port(); }
 
 const ServerOptions& Server::options() const { return impl_->options; }
 

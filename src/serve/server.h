@@ -65,6 +65,21 @@ struct ServerOptions {
   /// Admin opcodes can be disabled for exposed deployments.
   bool allow_swap = true;
   bool allow_shutdown = true;
+
+  /// Admin plane (DESIGN.md §17): HTTP/1.0 listener answering
+  /// GET /metrics, /healthz, /tracez. Off by default — it is a second
+  /// listening socket, so turning it on is an explicit deployment
+  /// decision (gorderd --admin-addr).
+  bool admin_enabled = false;
+  util::NetAddress admin_listen;
+
+  /// Request tracing: requests with trace_id % trace_sample == 0 are
+  /// recorded in the trace ring (0 disables sampling). Slow requests
+  /// are always recorded regardless.
+  std::uint32_t trace_sample = 64;
+  /// Threshold for "slow": queue wait + execution above this logs one
+  /// structured line and force-samples the trace. 0 disables.
+  int slow_request_ms = 0;
 };
 
 class Server {
@@ -98,6 +113,9 @@ class Server {
   /// Actual bound TCP port after Start() (tcp:0 resolves here); 0 for
   /// unix sockets.
   int Port() const;
+  /// Bound admin TCP port (admin_listen = tcp:0 resolves here); 0 when
+  /// the admin plane is off or on a unix socket.
+  int AdminPort() const;
   const ServerOptions& options() const;
 
   /// Test hook, called on the worker thread just before each dequeued

@@ -1,0 +1,86 @@
+#include "serve/stats.h"
+
+#include "obs/json.h"
+#include "serve/protocol.h"
+
+namespace gorder::serve {
+
+namespace {
+
+void WriteWindow(obs::JsonWriter* w, const char* key,
+                 const obs::WindowSnapshot& snap) {
+  w->Key(key);
+  w->BeginObject();
+  w->KV("count", snap.count);
+  w->KV("sum", snap.sum);
+  w->KV("p50", snap.p50);
+  w->KV("p99", snap.p99);
+  w->KV("p999", snap.p999);
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string RenderStatsJson(const ServerStatsView& view,
+                            const obs::MetricsDump& metrics,
+                            const std::vector<obs::WindowedDump>& windows) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", "gorder-stats");
+  w.KV("schema_version", 1);
+  w.KV("epoch", view.epoch);
+  w.KV("queue_depth", view.queue_depth);
+  w.KV("in_flight", view.in_flight);
+  w.KV("connections", view.connections);
+  w.KV("traces_sampled", view.traces_sampled);
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : metrics.counters) w.KV(name, value);
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : metrics.gauges) w.KV(name, value);
+  w.EndObject();
+  w.Key("windows");
+  w.BeginObject();
+  for (const auto& win : windows) {
+    w.Key(win.name);
+    w.BeginObject();
+    WriteWindow(&w, "10s", win.short_window);
+    WriteWindow(&w, "60s", win.long_window);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string RenderTracezJson(
+    std::uint64_t total_pushed,
+    const std::vector<obs::ReqTraceRecord>& records) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", "gorder-tracez");
+  w.KV("total_pushed", total_pushed);
+  w.Key("records");
+  w.BeginArray();
+  for (const auto& rec : records) {
+    w.BeginObject();
+    w.KV("trace_id", rec.trace_id);
+    w.KV("opcode", OpcodeName(static_cast<Opcode>(rec.opcode)));
+    w.KV("status", StatusName(static_cast<Status>(rec.status)));
+    w.KV("start_us", rec.start_us);
+    w.KV("queue_us", rec.queue_us);
+    w.KV("exec_us", rec.exec_us);
+    w.KV("bytes_in", rec.bytes_in);
+    w.KV("bytes_out", rec.bytes_out);
+    w.KV("epoch", rec.epoch);
+    w.KV("slow", rec.slow);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace gorder::serve

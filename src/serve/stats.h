@@ -1,0 +1,52 @@
+#ifndef GORDER_SERVE_STATS_H_
+#define GORDER_SERVE_STATS_H_
+
+/// kStats / /tracez JSON rendering (DESIGN.md §17).
+///
+/// Pure functions from explicit inputs to bytes — no registry reads, no
+/// clocks — so the protocol conformance suite can pin byte-level goldens
+/// on fixed inputs. The server feeds them live values; the tests feed
+/// them constants.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/expo.h"
+#include "obs/metrics.h"
+#include "obs/reqtrace.h"
+
+namespace gorder::serve {
+
+/// Server-core state that is not in the metric registry.
+struct ServerStatsView {
+  std::uint64_t epoch = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t traces_sampled = 0;  // ReqTraceRing::TotalPushed()
+};
+
+/// The kStats JSON document:
+///
+///   {"schema":"gorder-stats","schema_version":1,
+///    "epoch":E,"queue_depth":Q,"in_flight":F,"connections":C,
+///    "traces_sampled":T,
+///    "counters":{"name":v,...},"gauges":{"name":v,...},
+///    "windows":{"name":{"10s":{"count":..,"sum":..,"p50":..,"p99":..,
+///                              "p999":..},"60s":{...}},...}}
+///
+/// Maps are sorted by name (DumpMetrics/DumpWindowed order), so the
+/// bytes are deterministic for fixed inputs.
+std::string RenderStatsJson(const ServerStatsView& view,
+                            const obs::MetricsDump& metrics,
+                            const std::vector<obs::WindowedDump>& windows);
+
+/// The /tracez JSON document: {"schema":"gorder-tracez","total_pushed":N,
+/// "records":[{...newest first...}]}.
+std::string RenderTracezJson(std::uint64_t total_pushed,
+                             const std::vector<obs::ReqTraceRecord>& records);
+
+}  // namespace gorder::serve
+
+#endif  // GORDER_SERVE_STATS_H_

@@ -245,6 +245,21 @@ IoResult ReadFull(const Socket& sock, void* buf, std::size_t n,
   return IoResult::Ok();
 }
 
+IoResult ReadSome(const Socket& sock, void* buf, std::size_t cap,
+                  std::size_t* got) {
+  *got = 0;
+  while (true) {
+    ssize_t n = ::recv(sock.fd(), buf, cap, 0);
+    if (n >= 0) {
+      *got = static_cast<std::size_t>(n);
+      GORDER_OBS_ADD(c_bytes_in, static_cast<std::uint64_t>(n));
+      return IoResult::Ok();
+    }
+    if (errno == EINTR) continue;
+    return IoResult::Error(ErrnoMessage("recv"));
+  }
+}
+
 IoResult WriteFull(const Socket& sock, const void* buf, std::size_t n) {
   std::size_t done = 0;
   const auto* bytes = static_cast<const char*>(buf);

@@ -92,6 +92,13 @@ IoResult ConnectSocket(const NetAddress& addr, Socket* out,
 IoResult ReadFull(const Socket& sock, void* buf, std::size_t n,
                   bool* clean_eof = nullptr);
 
+/// Reads whatever is available, up to `cap` bytes, into `buf`; `*got`
+/// receives the byte count (0 on orderly EOF, which is still ok). The
+/// admin HTTP listener uses this to accumulate a request head whose
+/// length is not known in advance.
+IoResult ReadSome(const Socket& sock, void* buf, std::size_t cap,
+                  std::size_t* got);
+
 /// Writes exactly `n` bytes (SIGPIPE suppressed; a closed peer surfaces
 /// as an error, never a signal).
 IoResult WriteFull(const Socket& sock, const void* buf, std::size_t n);

@@ -58,6 +58,7 @@ struct PipelineOutcome {
   bool serve_started = false;       // daemon bound its socket
   bool serve_queried = false;       // ping+info+neighbors all answered
   bool serve_alive_after = false;   // fresh connection works at the end
+  bool admin_scraped = false;       // /healthz answered 200 at the end
   std::uint64_t serve_nodes = 0;    // n reported by the daemon's kInfo
   std::uint64_t roundtrip_fp = 0;  // edge-list roundtrip fingerprint
   std::uint64_t binary_fp = 0;     // binary roundtrip fingerprint
@@ -150,6 +151,12 @@ PipelineOutcome RunPipeline(const std::string& dir) {
     sopts.listen.is_unix = true;
     sopts.listen.path = dir + "/gd.sock";
     sopts.serve_threads = 1;
+    // Admin plane on an ephemeral TCP port: this is what drives the
+    // net.admin.* failpoints (accept/read/write). An injected admin
+    // fault may cost one scrape — never the daemon.
+    sopts.admin_enabled = true;
+    sopts.admin_listen.host = "127.0.0.1";
+    sopts.admin_listen.port = 0;
     serve::Server server(cold.Clone(), sopts);
     out.serve_started = note(server.Start());
     if (out.serve_started) {
@@ -174,6 +181,38 @@ PipelineOutcome RunPipeline(const std::string& dir) {
       if (!fc.ok) out.errors.push_back(fc.error);
       out.serve_alive_after = fc.ok && fresh.Ping().ok();
       fresh.Close();
+      // Admin scrape over plain HTTP/1.0. The single-shot armed fault
+      // may eat the first attempt (dropped connection / short write);
+      // the second must answer — admin faults never wedge the listener.
+      auto scrape = [&]() {
+        util::NetAddress addr;
+        addr.host = "127.0.0.1";
+        addr.port = server.AdminPort();
+        util::Socket s;
+        IoResult cr = util::ConnectSocket(addr, &s, 10.0);
+        if (!cr.ok) {
+          out.errors.push_back(cr.error);
+          return false;
+        }
+        const std::string get = "GET /healthz HTTP/1.0\r\n\r\n";
+        IoResult wr = util::WriteFull(s, get.data(), get.size());
+        if (!wr.ok) {
+          out.errors.push_back(wr.error);
+          return false;
+        }
+        std::string resp;
+        char buf[512];
+        std::size_t got = 0;
+        while (util::ReadSome(s, buf, sizeof buf, &got).ok && got > 0) {
+          resp.append(buf, got);
+        }
+        if (resp.find(" 200 ") == std::string::npos) {
+          out.errors.push_back("admin scrape got no 200: " + resp);
+          return false;
+        }
+        return true;
+      };
+      out.admin_scraped = scrape() || scrape();
       server.Stop();
     }
   }
@@ -260,9 +299,13 @@ void CheckInvariants(const PipelineOutcome& out,
     EXPECT_EQ(out.loaded_perm, baseline.perm) << context;
   }
   // A daemon that managed to bind must still be serving at the end of
-  // the run, whatever single fault was injected along the way.
+  // the run, whatever single fault was injected along the way. Start()
+  // fails outright when the admin listener cannot bind, so a started
+  // daemon must also still answer scrapes (the pipeline retries once:
+  // a single-shot admin fault may cost the first attempt, never both).
   if (out.serve_started) {
     EXPECT_TRUE(out.serve_alive_after) << context;
+    EXPECT_TRUE(out.admin_scraped) << context;
   }
   if (out.serve_queried) {
     EXPECT_EQ(out.serve_nodes, baseline.serve_nodes) << context;
@@ -311,7 +354,7 @@ TEST_F(FaultSweepTest, BaselineCoversEveryRegisteredFailpoint) {
   EXPECT_TRUE(baseline.saved_ordering && baseline.loaded_ordering);
   EXPECT_TRUE(baseline.wrote_trace);
   EXPECT_TRUE(baseline.serve_started && baseline.serve_queried &&
-              baseline.serve_alive_after);
+              baseline.serve_alive_after && baseline.admin_scraped);
   CheckArtifacts(root_ + "/baseline", baseline);
 
   // Coverage: a registered point the pipeline never reaches is dead

@@ -3,6 +3,7 @@
 // expand to nothing — no registration, no code — in an opted-out TU that
 // still links against the fully-enabled library.
 
+#include "obs/expo.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -16,6 +17,7 @@ namespace {
 GORDER_OBS_COUNTER(c_probe, "obs_disabled_test.counter");
 GORDER_OBS_GAUGE(g_probe, "obs_disabled_test.gauge");
 GORDER_OBS_HISTOGRAM(h_probe, "obs_disabled_test.hist");
+GORDER_OBS_WINDOWED(w_probe, "obs_disabled_test.windowed");
 }  // namespace
 
 void RunDisabledProbe() {
@@ -25,6 +27,7 @@ void RunDisabledProbe() {
     GORDER_OBS_ADD(c_probe, 2);
     GORDER_OBS_SET(g_probe, i);
     GORDER_OBS_OBSERVE(h_probe, static_cast<std::uint64_t>(i));
+    GORDER_OBS_WRECORD(w_probe, static_cast<std::uint64_t>(i));
   }
 }
 

@@ -1,0 +1,136 @@
+// Concurrency battery for the live-observability primitives: writers
+// hammer obs::Histogram, obs::WindowedHistogram and obs::ReqTraceRing
+// while readers snapshot them, from 8 threads, with no synchronisation
+// beyond the primitives' own atomics. The point is the TSan CI job: any
+// non-atomic access on a hot path is a hard failure there. The
+// assertions themselves are deliberately weak — monitoring reads are
+// allowed bounded imprecision while racing writers (documented in
+// expo.h), but must never tear, go backwards, or crash.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/expo.h"
+#include "obs/metrics.h"
+#include "obs/reqtrace.h"
+
+namespace gorder::obs {
+namespace {
+
+constexpr int kWriters = 6;
+constexpr int kReaders = 2;
+constexpr int kOpsPerWriter = 20000;
+
+TEST(ObsStressTest, HistogramRecordVsSnapshot) {
+  Histogram& h = GetHistogram("obs_stress.hist");
+  h.Reset();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&h, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        h.Observe(static_cast<std::uint64_t>(w * 1000 + i % 977));
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&h, &stop] {
+      std::uint64_t last_count = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::uint64_t count = h.Count();
+        EXPECT_GE(count, last_count) << "histogram count went backwards";
+        last_count = count;
+        (void)h.Sum();
+        (void)h.Buckets();
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true, std::memory_order_release);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(h.Count(), static_cast<std::uint64_t>(kWriters) * kOpsPerWriter);
+}
+
+TEST(ObsStressTest, WindowedRecordVsSnapshot) {
+  WindowedHistogram h("obs_stress.windowed");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&h, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        // Writers disagree about the tick now and then, forcing the
+        // slot-recycle CAS path to race snapshots and other writers.
+        const std::int64_t tick = 1000 + (i % 3 == 0 ? w % 2 : 0) + i / 4096;
+        h.RecordAtTick(static_cast<std::uint64_t>(i % 4096), tick);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&h, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (int win : {kWindowSecondsShort, kWindowSecondsLong}) {
+          const WindowSnapshot snap = h.SnapshotAtTick(win, 1005);
+          EXPECT_LE(snap.p50, snap.p99);
+          EXPECT_LE(snap.p99, snap.p999);
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true, std::memory_order_release);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+  // Recycling may drop samples racing a tick flip (documented), but the
+  // final read must land in the ballpark and the last slot is stable.
+  const WindowSnapshot final_snap = h.SnapshotAtTick(kWindowSecondsLong, 1005);
+  EXPECT_GT(final_snap.count, 0u);
+  EXPECT_LE(final_snap.count,
+            static_cast<std::uint64_t>(kWriters) * kOpsPerWriter);
+}
+
+TEST(ObsStressTest, TraceRingPushVsSnapshot) {
+  ReqTraceRing ring;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&ring, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        ReqTraceRecord rec;
+        rec.trace_id = static_cast<std::uint64_t>(w) * kOpsPerWriter +
+                       static_cast<std::uint64_t>(i) + 1;
+        // Self-consistent payload: a torn read would break the equality
+        // the readers check below.
+        rec.queue_us = rec.trace_id * 3;
+        rec.exec_us = rec.trace_id * 7;
+        ring.Push(rec);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&ring, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (const ReqTraceRecord& rec : ring.SnapshotRecent(64)) {
+          EXPECT_NE(rec.trace_id, 0u) << "snapshot returned a blank slot";
+          EXPECT_EQ(rec.queue_us, rec.trace_id * 3) << "torn read";
+          EXPECT_EQ(rec.exec_us, rec.trace_id * 7) << "torn read";
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true, std::memory_order_release);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(ring.TotalPushed(),
+            static_cast<std::uint64_t>(kWriters) * kOpsPerWriter);
+  std::vector<ReqTraceRecord> recent = ring.SnapshotRecent(16);
+  ASSERT_EQ(recent.size(), 16u);
+  for (const ReqTraceRecord& rec : recent) {
+    EXPECT_EQ(rec.queue_us, rec.trace_id * 3);
+  }
+}
+
+}  // namespace
+}  // namespace gorder::obs

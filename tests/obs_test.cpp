@@ -14,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/expo.h"
 #include "obs/json.h"
 #include "obs/report.h"
+#include "obs/reqtrace.h"
 #include "obs/trace.h"
 #include "util/parallel.h"
 
@@ -255,6 +257,214 @@ TEST(TraceWriterTest, WritesAtomicallyAndFailsClean) {
   fs::remove_all(dir, ec);
 }
 
+TEST(WindowedHistogramTest, QuantilesOverOneSlot) {
+  ObsGuard guard;
+  WindowedHistogram h("obs_test.win_one_slot");
+  // 900 fast (bucket 3: values 4..7), 90 medium (bucket 7: 64..127),
+  // 10 slow (bucket 11: 1024..2047) — a classic latency shape.
+  for (int i = 0; i < 900; ++i) h.RecordAtTick(5, 100);
+  for (int i = 0; i < 90; ++i) h.RecordAtTick(100, 100);
+  for (int i = 0; i < 10; ++i) h.RecordAtTick(2000, 100);
+  WindowSnapshot w = h.SnapshotAtTick(kWindowSecondsShort, 100);
+  EXPECT_EQ(w.count, 1000u);
+  EXPECT_EQ(w.sum, 900u * 5 + 90u * 100 + 10u * 2000);
+  EXPECT_EQ(w.p50, WindowedHistogram::BucketUpperBound(3));   // 7
+  EXPECT_EQ(w.p99, WindowedHistogram::BucketUpperBound(7));   // 127
+  EXPECT_EQ(w.p999, WindowedHistogram::BucketUpperBound(11));  // 2047
+  EXPECT_LE(w.p50, w.p99);
+  EXPECT_LE(w.p99, w.p999);
+}
+
+TEST(WindowedHistogramTest, OldSlotsAgeOutOfTheWindow) {
+  ObsGuard guard;
+  WindowedHistogram h("obs_test.win_aging");
+  h.RecordAtTick(1000, 10);  // 50s..55s on the slot clock
+  h.RecordAtTick(1, 20);     // 100s..105s
+  // At tick 20, the 10s window covers ticks {19, 20} — only the fresh
+  // record; the 60s window covers ticks {9..20} — both.
+  WindowSnapshot short_w = h.SnapshotAtTick(kWindowSecondsShort, 20);
+  EXPECT_EQ(short_w.count, 1u);
+  EXPECT_EQ(short_w.sum, 1u);
+  WindowSnapshot long_w = h.SnapshotAtTick(kWindowSecondsLong, 20);
+  EXPECT_EQ(long_w.count, 2u);
+  EXPECT_EQ(long_w.sum, 1001u);
+  // Far in the future both are empty.
+  EXPECT_EQ(h.SnapshotAtTick(kWindowSecondsLong, 1000).count, 0u);
+}
+
+TEST(WindowedHistogramTest, WrappedSlotIsRecycledNotDoubleCounted) {
+  ObsGuard guard;
+  WindowedHistogram h("obs_test.win_recycle");
+  // Tick 5 and tick 5 + kNumSlots map to the same ring slot.
+  h.RecordAtTick(7, 5);
+  const std::int64_t wrapped = 5 + WindowedHistogram::kNumSlots;
+  h.RecordAtTick(9, wrapped);
+  WindowSnapshot w = h.SnapshotAtTick(kWindowSecondsShort, wrapped);
+  EXPECT_EQ(w.count, 1u);
+  EXPECT_EQ(w.sum, 9u);
+}
+
+TEST(WindowedHistogramTest, DisabledRecordIsDropped) {
+  ObsGuard guard;
+  WindowedHistogram& h = GetWindowedHistogram("obs_test.win_gated");
+  h.ResetForTest();
+  SetEnabledForTest(false);
+  h.Record(42);
+  SetEnabledForTest(true);
+  EXPECT_EQ(h.Snapshot(kWindowSecondsLong).count, 0u);
+}
+
+TEST(WindowedHistogramTest, DumpIsSortedAndCoversRegistry) {
+  ObsGuard guard;
+  ResetAllWindowed();
+  GetWindowedHistogram("obs_test.win_dump_b").Record(3);
+  GetWindowedHistogram("obs_test.win_dump_a").Record(5);
+  std::vector<WindowedDump> dump = DumpWindowed();
+  std::size_t a = dump.size(), b = dump.size();
+  for (std::size_t i = 0; i < dump.size(); ++i) {
+    EXPECT_TRUE(i == 0 || dump[i - 1].name < dump[i].name) << "unsorted";
+    if (dump[i].name == "obs_test.win_dump_a") a = i;
+    if (dump[i].name == "obs_test.win_dump_b") b = i;
+  }
+  ASSERT_LT(a, dump.size());
+  ASSERT_LT(b, dump.size());
+  EXPECT_EQ(dump[a].short_window.count, 1u);
+  EXPECT_EQ(dump[a].long_window.sum, 5u);
+  EXPECT_EQ(dump[b].long_window.sum, 3u);
+}
+
+TEST(PrometheusTest, NamesAreMechanicallySanitised) {
+  EXPECT_EQ(PrometheusName("serve.requests"), "gorder_serve_requests");
+  EXPECT_EQ(PrometheusName("serve.req_us.bfs"), "gorder_serve_req_us_bfs");
+  EXPECT_EQ(PrometheusName("weird-name with spaces"),
+            "gorder_weird_name_with_spaces");
+}
+
+TEST(PrometheusTest, RendersCounterHistogramAndWindowSeries) {
+  ObsGuard guard;
+  GetCounter("obs_test.prom_counter").Reset();
+  GetCounter("obs_test.prom_counter").Add(7);
+  Histogram& h = GetHistogram("obs_test.prom_hist");
+  h.Reset();
+  h.Observe(1);
+  h.Observe(100);
+  GetWindowedHistogram("obs_test.prom_win").ResetForTest();
+  GetWindowedHistogram("obs_test.prom_win").Record(50);
+  std::string text = RenderPrometheusText();
+  EXPECT_NE(text.find("# TYPE gorder_obs_test_prom_counter_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("gorder_obs_test_prom_counter_total 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE gorder_obs_test_prom_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("gorder_obs_test_prom_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("gorder_obs_test_prom_hist_count 2"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "gorder_obs_test_prom_win{window=\"10s\",quantile=\"0.99\"}"),
+      std::string::npos);
+  EXPECT_NE(text.find("gorder_obs_test_prom_win_count{window=\"60s\"} 1"),
+            std::string::npos);
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("name", std::string("a\"b\\c\nz"));
+  w.KV("big", std::uint64_t{18446744073709551615ull});
+  w.KV("neg", std::int64_t{-42});
+  w.KV("pi", 3.25);
+  w.KV("yes", true);
+  w.Key("list");
+  w.BeginArray();
+  w.Uint(1);
+  w.Null();
+  w.EndArray();
+  w.EndObject();
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(w.str(), &doc, &error)) << error;
+  EXPECT_EQ(doc.Find("name")->str, "a\"b\\c\nz");
+  EXPECT_TRUE(doc.Find("big")->is_uint);
+  EXPECT_EQ(doc.U64("big"), 18446744073709551615ull);
+  EXPECT_EQ(doc.Find("neg")->num, -42.0);
+  EXPECT_EQ(doc.Find("pi")->num, 3.25);
+  EXPECT_TRUE(doc.Find("yes")->boolean);
+  ASSERT_EQ(doc.Find("list")->array.size(), 2u);
+  EXPECT_EQ(doc.Find("list")->array[0].uint, 1u);
+  EXPECT_EQ(doc.Find("list")->array[1].kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  JsonValue doc;
+  std::string error;
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}",
+                          "\"unterminated", "01", "1e", "tru", "{} extra",
+                          "\x01"}) {
+    EXPECT_FALSE(ParseJson(bad, &doc, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+  // Depth bomb: 100 nested arrays exceeds the parser's depth cap.
+  std::string deep(100, '[');
+  deep.append(100, ']');
+  EXPECT_FALSE(ParseJson(deep, &doc, &error));
+}
+
+TEST(ReqTraceRingTest, SnapshotReturnsNewestFirst) {
+  ReqTraceRing ring;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ReqTraceRecord rec;
+    rec.trace_id = i;
+    rec.exec_us = i * 10;
+    ring.Push(rec);
+  }
+  EXPECT_EQ(ring.TotalPushed(), 5u);
+  std::vector<ReqTraceRecord> recent = ring.SnapshotRecent(3);
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].trace_id, 5u);
+  EXPECT_EQ(recent[1].trace_id, 4u);
+  EXPECT_EQ(recent[2].trace_id, 3u);
+}
+
+TEST(ReqTraceRingTest, WrapsAndKeepsOnlyTheLastCapacity) {
+  ReqTraceRing ring;
+  const std::uint64_t total = ReqTraceRing::kCapacity + 10;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    ReqTraceRecord rec;
+    rec.trace_id = i;
+    ring.Push(rec);
+  }
+  EXPECT_EQ(ring.TotalPushed(), total);
+  std::vector<ReqTraceRecord> recent =
+      ring.SnapshotRecent(ReqTraceRing::kCapacity * 2);
+  ASSERT_EQ(recent.size(), ReqTraceRing::kCapacity);
+  EXPECT_EQ(recent.front().trace_id, total - 1);
+  EXPECT_EQ(recent.back().trace_id, total - ReqTraceRing::kCapacity);
+}
+
+TEST(ReportTest, WindowsSectionCarriesSchemaMinor3) {
+  ObsGuard guard;
+  ResetAllWindowed();
+  GetWindowedHistogram("obs_test.report_win").Record(9);
+  std::string json = RenderRunReportJson();
+  EXPECT_NE(json.find("\"schema_minor\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"windows\":"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.report_win\""), std::string::npos);
+  EXPECT_NE(json.find("\"10s\""), std::string::npos);
+  EXPECT_NE(json.find("\"60s\""), std::string::npos);
+  // And the document as a whole parses with our own parser.
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &doc, &error)) << error;
+  const JsonValue* windows = doc.Find("windows");
+  ASSERT_NE(windows, nullptr);
+  const JsonValue* win = windows->Find("obs_test.report_win");
+  ASSERT_NE(win, nullptr);
+  EXPECT_EQ(win->Find("60s")->U64("count"), 1u);
+}
+
 }  // namespace
 }  // namespace gorder::obs
 
@@ -268,9 +478,11 @@ namespace {
 
 TEST(DisabledBuildTest, MacrosCompileOutCompletely) {
   obs_disabled_probe::RunDisabledProbe();
-  // The probe used GORDER_OBS_COUNTER/ADD/SPAN under GORDER_OBS_DISABLED;
-  // if those expanded to real registrations the counter would exist here.
+  // The probe used GORDER_OBS_COUNTER/ADD/SPAN/WINDOWED/WRECORD under
+  // GORDER_OBS_DISABLED; if those expanded to real registrations the
+  // metrics would exist here.
   EXPECT_EQ(FindCounter("obs_disabled_test.counter"), nullptr);
+  EXPECT_EQ(FindWindowedHistogram("obs_disabled_test.windowed"), nullptr);
 }
 
 }  // namespace

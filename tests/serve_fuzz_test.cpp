@@ -237,6 +237,93 @@ TEST(ServeFuzz, ResponseDecoderSurvivesTruncationAndCorruption) {
   }
 }
 
+// ---- Admin HTTP parser fuzz (pure function; ASan job hammers this) ----
+
+TEST(AdminHttpFuzz, RandomBytesNeverMisbehave) {
+  Rng rng(0xAD317);
+  for (int iter = 0; iter < 60000; ++iter) {
+    const std::string data = RandomBytes(rng, rng.Uniform(96));
+    AdminRequest req;
+    const AdminParse p = ParseAdminRequest(data, &req);
+    if (p == AdminParse::kOk) {
+      // A parsed request always carries a sane method and a /-rooted path.
+      EXPECT_FALSE(req.method.empty()) << "iter " << iter;
+      EXPECT_FALSE(req.path.empty()) << "iter " << iter;
+      EXPECT_EQ(req.path[0], '/') << "iter " << iter;
+    }
+  }
+}
+
+TEST(AdminHttpFuzz, EveryPrefixOfAValidRequestNeedsMore) {
+  const std::string request =
+      "GET /metrics HTTP/1.0\r\nHost: x\r\nAccept: */*\r\n\r\n";
+  for (std::size_t n = 0; n < request.size(); ++n) {
+    AdminRequest req;
+    EXPECT_EQ(ParseAdminRequest(request.substr(0, n), &req),
+              AdminParse::kNeedMore)
+        << "prefix " << n;
+  }
+  AdminRequest req;
+  ASSERT_EQ(ParseAdminRequest(request, &req), AdminParse::kOk);
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/metrics");
+}
+
+TEST(AdminHttpFuzz, OversizedHeadIsRejectedAtTheCap) {
+  // No blank line within the cap: must turn into kBad, not kNeedMore
+  // (kNeedMore would let a hostile peer grow the buffer forever).
+  std::string runaway = "GET /";
+  runaway.append(kMaxAdminRequestBytes, 'a');
+  AdminRequest req;
+  EXPECT_EQ(ParseAdminRequest(runaway, &req), AdminParse::kBad);
+}
+
+TEST(AdminHttpFuzz, MalformedRequestLinesAreBad) {
+  for (const char* bad :
+       {"\r\n\r\n",                        // empty request line
+        "GET\r\n\r\n",                     // no path
+        "GET  HTTP/1.0\r\n\r\n",           // empty path
+        "GET metrics HTTP/1.0\r\n\r\n",    // path not /-rooted
+        "GET /a\x01/b HTTP/1.0\r\n\r\n",   // control char in path
+        "G\x7f T / HTTP/1.0\r\n\r\n",      // control char in method
+        "GET / FTP/9\r\n\r\n"}) {          // not an HTTP version
+    AdminRequest req;
+    EXPECT_EQ(ParseAdminRequest(bad, &req), AdminParse::kBad) << bad;
+  }
+  // Bare-LF termination (curl never sends it, netcat users do) is fine.
+  AdminRequest req;
+  EXPECT_EQ(ParseAdminRequest("GET /healthz HTTP/1.1\n\n", &req),
+            AdminParse::kOk);
+  EXPECT_EQ(req.path, "/healthz");
+}
+
+TEST(AdminHttpFuzz, RouterAlwaysAnswersWellFormedHttp) {
+  AdminHandlers handlers;
+  handlers.metrics_text = [] { return std::string("m 1\n"); };
+  handlers.healthz_text = [] { return std::string("ok\n"); };
+  handlers.tracez_json = [] { return std::string("{}"); };
+  Rng rng(0x404);
+  for (int iter = 0; iter < 20000; ++iter) {
+    AdminRequest req;
+    req.method = iter % 3 == 0 ? "GET" : RandomBytes(rng, rng.Uniform(8));
+    req.path = "/" + RandomBytes(rng, rng.Uniform(24));
+    const std::string response = HandleAdminRequest(req, handlers);
+    EXPECT_EQ(response.rfind("HTTP/1.0 ", 0), 0u) << "iter " << iter;
+    EXPECT_NE(response.find("Content-Length: "), std::string::npos);
+    EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  }
+  // The three real routes, plus query-string stripping.
+  AdminRequest req;
+  req.method = "GET";
+  for (const char* path : {"/metrics", "/healthz", "/tracez",
+                           "/metrics?format=prometheus"}) {
+    req.path = path;
+    EXPECT_NE(HandleAdminRequest(req, handlers).find("200"),
+              std::string::npos)
+        << path;
+  }
+}
+
 // ---- Live-socket torture ----
 
 class ServeSocketFuzzTest : public ::testing::Test {

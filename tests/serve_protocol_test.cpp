@@ -91,8 +91,8 @@ TEST(ServeProtocol, PingRequestGolden) {
   EXPECT_EQ(back.opcode, Opcode::kPing);
 }
 
-TEST(ServeProtocol, InfoAndShutdownRequestGolden) {
-  for (auto op : {Opcode::kInfo, Opcode::kShutdown}) {
+TEST(ServeProtocol, InfoShutdownAndStatsRequestGolden) {
+  for (auto op : {Opcode::kInfo, Opcode::kShutdown, Opcode::kStats}) {
     Request req;
     req.id = 1;
     req.opcode = op;
@@ -203,6 +203,90 @@ TEST(ServeProtocol, SwapPackRequestGolden) {
   EXPECT_EQ(back.pack_path, "/p.gpack");
 }
 
+// ---- kStats reply body golden vector ----
+
+TEST(ServeProtocol, StatsBodyGolden) {
+  // `u32 json_len | json bytes` — the kStats reply body carried inside
+  // the standard response frame.
+  ExpectBytes(EncodeStatsBody("{\"a\":1}"),
+              Bytes({0x07, 0x00, 0x00, 0x00,  // json_len = 7
+                     '{', '"', 'a', '"', ':', '1', '}'}));
+  std::string body = EncodeStatsBody("{\"a\":1}");
+  std::string json;
+  ASSERT_TRUE(DecodeStatsBody(reinterpret_cast<const std::byte*>(body.data()),
+                              body.size(), &json));
+  EXPECT_EQ(json, "{\"a\":1}");
+}
+
+TEST(ServeProtocol, StatsBodyDecodeRejectsMalformed) {
+  std::string body = EncodeStatsBody("{}");
+  std::string json;
+  // Truncated length prefix, truncated payload, and trailing garbage.
+  for (std::size_t n : {std::size_t{0}, std::size_t{3}, body.size() - 1}) {
+    EXPECT_FALSE(
+        DecodeStatsBody(reinterpret_cast<const std::byte*>(body.data()), n,
+                        &json))
+        << "prefix " << n;
+  }
+  std::string trailing = body + "x";
+  EXPECT_FALSE(
+      DecodeStatsBody(reinterpret_cast<const std::byte*>(trailing.data()),
+                      trailing.size(), &json));
+}
+
+// ---- kStats / tracez JSON byte goldens (pure renderers, fixed input) ----
+
+TEST(ServeProtocol, StatsJsonGolden) {
+  ServerStatsView view;
+  view.epoch = 2;
+  view.queue_depth = 3;
+  view.in_flight = 1;
+  view.connections = 4;
+  view.traces_sampled = 7;
+  obs::MetricsDump metrics;
+  metrics.counters = {{"serve.requests", 100}, {"serve.responses", 99}};
+  metrics.gauges = {{"serve.queue_depth", 3}};
+  obs::WindowedDump win;
+  win.name = "serve.req_us.ping";
+  win.short_window = {10, 500, 32, 64, 127};
+  win.long_window = {60, 3000, 32, 127, 255};
+  EXPECT_EQ(
+      RenderStatsJson(view, metrics, {win}),
+      "{\"schema\":\"gorder-stats\",\"schema_version\":1,"
+      "\"epoch\":2,\"queue_depth\":3,\"in_flight\":1,\"connections\":4,"
+      "\"traces_sampled\":7,"
+      "\"counters\":{\"serve.requests\":100,\"serve.responses\":99},"
+      "\"gauges\":{\"serve.queue_depth\":3},"
+      "\"windows\":{\"serve.req_us.ping\":{"
+      "\"10s\":{\"count\":10,\"sum\":500,\"p50\":32,\"p99\":64,"
+      "\"p999\":127},"
+      "\"60s\":{\"count\":60,\"sum\":3000,\"p50\":32,\"p99\":127,"
+      "\"p999\":255}}}}");
+}
+
+TEST(ServeProtocol, TracezJsonGolden) {
+  obs::ReqTraceRecord rec;
+  rec.trace_id = 64;
+  rec.start_us = 1000;
+  rec.queue_us = 5;
+  rec.exec_us = 40;
+  rec.bytes_in = 16;
+  rec.bytes_out = 22;
+  rec.epoch = 1;
+  rec.opcode = static_cast<std::uint16_t>(Opcode::kBfs);
+  rec.status = static_cast<std::uint16_t>(Status::kOk);
+  rec.slow = true;
+  EXPECT_EQ(RenderTracezJson(3, {rec}),
+            "{\"schema\":\"gorder-tracez\",\"total_pushed\":3,"
+            "\"records\":[{\"trace_id\":64,\"opcode\":\"bfs\","
+            "\"status\":\"ok\",\"start_us\":1000,\"queue_us\":5,"
+            "\"exec_us\":40,\"bytes_in\":16,\"bytes_out\":22,"
+            "\"epoch\":1,\"slow\":true}]}");
+  EXPECT_EQ(RenderTracezJson(0, {}),
+            "{\"schema\":\"gorder-tracez\",\"total_pushed\":0,"
+            "\"records\":[]}");
+}
+
 // ---- Response golden vector ----
 
 TEST(ServeProtocol, ResponseGolden) {
@@ -254,6 +338,7 @@ TEST(ServeProtocol, NamesAreStableAndTotal) {
   EXPECT_STREQ(OpcodeName(Opcode::kOrder), "order");
   EXPECT_STREQ(OpcodeName(Opcode::kSwapPack), "swap_pack");
   EXPECT_STREQ(OpcodeName(Opcode::kShutdown), "shutdown");
+  EXPECT_STREQ(OpcodeName(Opcode::kStats), "stats");
   EXPECT_STREQ(OpcodeName(static_cast<Opcode>(999)), "?");
 
   EXPECT_STREQ(StatusName(Status::kOk), "ok");
@@ -318,7 +403,7 @@ TEST(ServeProtocol, BadFrameOnNonzeroReserved) {
 }
 
 TEST(ServeProtocol, BadOpcodeOnUnknownValues) {
-  for (unsigned raw : {0u, 11u, 255u, 0xFFFFu}) {
+  for (unsigned raw : {0u, 12u, 255u, 0xFFFFu}) {
     std::string frame;
     PutU32(&frame, 12);
     PutU64(&frame, 77);                                  // id

@@ -425,5 +425,119 @@ TEST_F(ServeTest, QueueFullAnswersOverloadedDeterministically) {
   }
 }
 
+// ---- Observability plane: kStats, admin HTTP, request tracing ----
+
+/// One-shot HTTP/1.0 exchange against the admin listener: send `request`
+/// verbatim, read until the server closes (Connection: close semantics).
+std::string AdminHttp(int port, const std::string& request) {
+  util::NetAddress addr;
+  addr.host = "127.0.0.1";
+  addr.port = port;
+  util::Socket s;
+  IoResult r = util::ConnectSocket(addr, &s, 30.0);
+  EXPECT_TRUE(r.ok) << r.error;
+  if (!r.ok) return "";
+  EXPECT_TRUE(util::WriteFull(s, request.data(), request.size()).ok);
+  std::string response;
+  char buf[1024];
+  for (;;) {
+    std::size_t got = 0;
+    if (!util::ReadSome(s, buf, sizeof buf, &got).ok || got == 0) break;
+    response.append(buf, got);
+  }
+  return response;
+}
+
+TEST_F(ServeTest, StatsOpcodeReturnsParseableSnapshot) {
+  StartServer();
+  Client client = Connected();
+  ASSERT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.Degree(0).ok());
+  StatsReply stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.error;
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(stats.json, &doc, &error)) << error;
+  EXPECT_EQ(doc.Find("schema")->str, "gorder-stats");
+  EXPECT_EQ(doc.U64("epoch"), 1u);
+  EXPECT_EQ(doc.U64("connections"), 1u);
+  const obs::JsonValue* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  // The ping + degree (and this stats call) all counted as requests.
+  EXPECT_GE(counters->U64("serve.requests"), 3u);
+  ASSERT_NE(doc.Find("windows"), nullptr);
+  if (obs::Enabled()) {
+    EXPECT_NE(doc.Find("windows")->Find("serve.req_us.ping"), nullptr);
+  }
+}
+
+TEST_F(ServeTest, AdminEndpointsServeMetricsHealthAndTraces) {
+  ServerOptions opts;
+  opts.admin_enabled = true;
+  opts.admin_listen.host = "127.0.0.1";
+  opts.admin_listen.port = 0;
+  opts.trace_sample = 1;  // sample every request
+  StartServer(opts);
+  const int port = server_->AdminPort();
+  ASSERT_GT(port, 0);
+
+  Client client = Connected();
+  ASSERT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.Bfs(0).ok());
+
+  std::string health = AdminHttp(port, "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(health.find("HTTP/1.0 200"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok\n"), std::string::npos);
+
+  std::string metrics = AdminHttp(port, "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(metrics.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("gorder_serve_requests_total"), std::string::npos);
+  if (obs::Enabled()) {
+    EXPECT_NE(metrics.find("gorder_serve_req_us_ping"), std::string::npos);
+  }
+
+  std::string tracez = AdminHttp(port, "GET /tracez HTTP/1.0\r\n\r\n");
+  EXPECT_NE(tracez.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(tracez.find("application/json"), std::string::npos);
+  const std::size_t body_at = tracez.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(tracez.substr(body_at + 4), &doc, &error))
+      << error;
+  EXPECT_EQ(doc.Find("schema")->str, "gorder-tracez");
+  if (obs::Enabled()) {
+    // trace_sample=1: the ping and bfs above are both in the ring.
+    EXPECT_GE(doc.U64("total_pushed"), 2u);
+    ASSERT_FALSE(doc.Find("records")->array.empty());
+  }
+
+  // Unknown path and non-GET get clean errors, and the daemon survives.
+  EXPECT_NE(AdminHttp(port, "GET /nope HTTP/1.0\r\n\r\n").find("404"),
+            std::string::npos);
+  EXPECT_NE(AdminHttp(port, "POST /metrics HTTP/1.0\r\n\r\n").find("405"),
+            std::string::npos);
+  EXPECT_NE(AdminHttp(port, "garbage\r\n\r\n").find("400"),
+            std::string::npos);
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServeTest, AdminListenerStopsWithServer) {
+  ServerOptions opts;
+  opts.admin_enabled = true;
+  opts.admin_listen.host = "127.0.0.1";
+  opts.admin_listen.port = 0;
+  StartServer(opts);
+  const int port = server_->AdminPort();
+  ASSERT_GT(port, 0);
+  server_->Stop();
+  util::NetAddress addr;
+  addr.host = "127.0.0.1";
+  addr.port = port;
+  util::Socket s;
+  EXPECT_FALSE(util::ConnectSocket(addr, &s, 2.0).ok);
+}
+
 }  // namespace
 }  // namespace gorder::serve

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Validates gorderd /metrics scrapes (Prometheus text format v0.0.4).
+
+Stdlib-only so it runs anywhere python3 exists (CI daemon-smoke job).
+
+Single-scrape mode checks well-formedness:
+
+  tools/check_metrics.py SCRAPE.txt [--require SERIES ...]
+
+  Every sample line must parse as `name[{labels}] value`, every metric
+  must be preceded by a `# TYPE` comment, histogram bucket series must
+  be cumulative (non-decreasing in `le`), and every --require SERIES
+  (exact series key, labels included) must be present.
+
+Two-scrape mode additionally checks counter monotonicity:
+
+  tools/check_metrics.py SCRAPE1.txt SCRAPE2.txt [--require SERIES ...]
+
+  Every series of a `counter`-typed metric present in SCRAPE1 must be
+  present in SCRAPE2 with a value >= its SCRAPE1 value (the daemon never
+  resets counters while running). --require is checked against SCRAPE2.
+
+Exit 0 when all checks pass, 1 with a per-failure message otherwise.
+"""
+
+import argparse
+import sys
+
+
+def fail(msg):
+    print(f"check_metrics: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_scrape(path):
+    """Returns (types, samples): metric name -> type, series key -> value.
+
+    A series key is the sample line's name + label block verbatim, e.g.
+    'gorder_serve_req_us_bfs{window="10s",quantile="0.99"}'.
+    """
+    types = {}
+    samples = {}
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"{path}: {e}")
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        # name[{labels}] value
+        if "}" in line:
+            series, _, value_text = line.rpartition(" ")
+            if not series.endswith("}") or "{" not in series:
+                fail(f"{path}:{lineno}: malformed labelled sample: {line!r}")
+        else:
+            fields = line.split()
+            if len(fields) != 2:
+                fail(f"{path}:{lineno}: malformed sample: {line!r}")
+            series, value_text = fields
+        try:
+            value = float(value_text)
+        except ValueError:
+            fail(f"{path}:{lineno}: non-numeric value: {line!r}")
+        if series in samples:
+            fail(f"{path}:{lineno}: duplicate series {series!r}")
+        samples[series] = value
+    if not samples:
+        fail(f"{path}: scrape holds no samples")
+    return types, samples
+
+
+def metric_name(series):
+    return series.split("{", 1)[0]
+
+
+def base_metric(series, types):
+    """Maps a series to its # TYPE name (strips _total/_bucket/_sum/_count)."""
+    name = metric_name(series)
+    for suffix in ("", "_total", "_bucket", "_sum", "_count"):
+        candidate = name[: len(name) - len(suffix)] if suffix else name
+        if name.endswith(suffix) and candidate in types:
+            return candidate
+    return None
+
+
+def check_well_formed(path, types, samples):
+    failures = 0
+    buckets = {}  # metric -> list of (le, value) in file order
+    for series, value in samples.items():
+        base = base_metric(series, types)
+        if base is None:
+            print(f"check_metrics: {path}: series {series!r} has no "
+                  f"# TYPE comment", file=sys.stderr)
+            failures += 1
+            continue
+        if types[base] == "counter" and value < 0:
+            print(f"check_metrics: {path}: counter {series!r} is negative",
+                  file=sys.stderr)
+            failures += 1
+        if metric_name(series).endswith("_bucket") and 'le="' in series:
+            buckets.setdefault(base, []).append(value)
+    for base, values in buckets.items():
+        if any(b < a for a, b in zip(values, values[1:])):
+            print(f"check_metrics: {path}: histogram {base!r} buckets are "
+                  f"not cumulative: {values}", file=sys.stderr)
+            failures += 1
+    return failures
+
+
+def check_monotonic(path1, path2, types1, samples1, types2, samples2):
+    failures = 0
+    for series, old in samples1.items():
+        base = base_metric(series, types1)
+        if base is None or types1.get(base) != "counter":
+            continue
+        if series not in samples2:
+            print(f"check_metrics: counter {series!r} present in {path1} "
+                  f"but missing from {path2}", file=sys.stderr)
+            failures += 1
+            continue
+        new = samples2[series]
+        if new < old:
+            print(f"check_metrics: counter {series!r} went backwards: "
+                  f"{old} -> {new}", file=sys.stderr)
+            failures += 1
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scrapes", nargs="+",
+                        help="one or two /metrics scrape files")
+    parser.add_argument("--require", action="append", default=[],
+                        help="series key (labels included) that must be "
+                        "present in the (last) scrape; repeatable")
+    args = parser.parse_args()
+    if len(args.scrapes) > 2:
+        fail("pass one or two scrape files")
+    parsed = [parse_scrape(p) for p in args.scrapes]
+    failures = 0
+    for path, (types, samples) in zip(args.scrapes, parsed):
+        failures += check_well_formed(path, types, samples)
+    if len(parsed) == 2:
+        failures += check_monotonic(args.scrapes[0], args.scrapes[1],
+                                    *parsed[0], *parsed[1])
+    final_samples = parsed[-1][1]
+    for series in args.require:
+        if series not in final_samples:
+            print(f"check_metrics: required series {series!r} missing from "
+                  f"{args.scrapes[-1]}", file=sys.stderr)
+            failures += 1
+    if failures:
+        fail(f"{failures} check(s) failed")
+    counters = sum(1 for t in parsed[-1][0].values() if t == "counter")
+    print(f"check_metrics: ok ({len(final_samples)} series, "
+          f"{counters} counter metrics, {len(args.require)} required "
+          f"series present)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

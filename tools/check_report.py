@@ -19,6 +19,12 @@ Minor 1 added the store.* family — pack/ordering-cache counters
 store.ordering_write, store.pack_write_bytes, store.mmap_load_bytes, ...)
 and spans (store.pack_write, store.mmap_load, store.ordering_lookup) —
 emitted by runs with an active --store-dir.
+Minor 2 added the serve.*/loadgen.*/net.* families (gorderd daemon and
+its load generator).
+Minor 3 added the top-level "windows" section: per-WindowedHistogram
+{"10s": {...}, "60s": {...}} latency snapshots, each window carrying
+count/sum/p50/p99/p999 as non-negative integers. Absent in pre-minor-3
+reports; empty for runs that never record into a windowed histogram.
 """
 
 import argparse
@@ -95,6 +101,32 @@ def check_histograms(hists):
                    f"histogram {name}: bucket sum != count")
 
 
+def check_windows(windows):
+    if windows is None:
+        return  # pre-minor-3 report
+    if not expect(isinstance(windows, dict), "windows must be an object"):
+        return
+    for name, spec in windows.items():
+        expect(isinstance(name, str) and name,
+               f"window name {name!r} must be a non-empty string")
+        if not expect(isinstance(spec, dict) and set(spec) == {"10s", "60s"},
+                      f"windows[{name}] must hold exactly '10s' and '60s'"):
+            continue
+        for label, w in spec.items():
+            path = f"windows[{name}].{label}"
+            if not expect(isinstance(w, dict), f"{path} must be an object"):
+                continue
+            for key in ["count", "sum", "p50", "p99", "p999"]:
+                v = w.get(key)
+                expect(isinstance(v, int) and not isinstance(v, bool)
+                       and v >= 0,
+                       f"{path}.{key} must be a non-negative integer")
+            if all(isinstance(w.get(k), int) for k in ["p50", "p99", "p999"]):
+                expect(w["p50"] <= w["p99"] <= w["p999"],
+                       f"{path}: quantiles must be non-decreasing "
+                       f"(p50 <= p99 <= p999)")
+
+
 def check_span(span, path, depth):
     if not expect(isinstance(span, dict), f"{path}: span must be an object"):
         return 0
@@ -151,6 +183,10 @@ def check_report(doc, require_depth, require_metrics, require_spans):
     check_env(doc.get("env"))
     check_metrics(doc.get("metrics", {}))
     check_histograms(doc.get("histograms", {}))
+    check_windows(doc.get("windows"))
+    if isinstance(minor, int) and minor >= 3:
+        expect("windows" in doc,
+               "schema_minor >= 3 requires a windows section")
     spans = doc.get("spans")
     if expect(isinstance(spans, list), "spans must be a list"):
         max_depth = max((check_span(s, f"spans[{i}]", 1)

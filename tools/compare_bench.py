@@ -49,10 +49,15 @@ def fail(msg):
     sys.exit(1)
 
 
-def load(path):
+def load(path, role="snapshot"):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
+    except FileNotFoundError:
+        if role == "baseline":
+            fail(f"baseline {path} does not exist — record one first with "
+                 f"'tools/compare_bench.py SNAPSHOT.json --merge-into={path}'")
+        fail(f"{path} does not exist")
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{path}: {e}")
     if doc.get("schema") != SCHEMA_NAME:
@@ -80,6 +85,11 @@ def latest_baseline_runs(baseline_doc):
 
 def compare(snapshot, baseline, tolerance, score_tolerance, min_seconds):
     base_runs = latest_baseline_runs(baseline)
+    if not base_runs:
+        fail("baseline holds no runs (empty trajectory) — record one "
+             "first with --merge-into")
+    if not any(e.get("runs") for e in snapshot["entries"]):
+        fail("snapshot holds no runs — nothing to compare")
     failures = 0
     compared = 0
     for entry in snapshot["entries"]:
@@ -182,8 +192,8 @@ def main():
         fail("pass exactly one of --baseline (compare) or --merge-into")
     snapshot = load(args.snapshot)
     if args.baseline:
-        compare(snapshot, load(args.baseline), args.tolerance,
-                args.score_tolerance, args.min_seconds)
+        compare(snapshot, load(args.baseline, role="baseline"),
+                args.tolerance, args.score_tolerance, args.min_seconds)
     else:
         merge(snapshot, args.merge_into)
     return 0

@@ -1,0 +1,515 @@
+#include "extmem/edge_stream.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+#include "obs/metrics.h"
+#include "util/atomic_file.h"
+#include "util/failpoint.h"
+
+namespace gorder::extmem {
+
+namespace {
+
+GORDER_FAILPOINT_DEFINE(fp_run_mkdir, "extmem.run.mkdir");
+GORDER_FAILPOINT_DEFINE(fp_run_open, "extmem.run.open");
+GORDER_FAILPOINT_DEFINE(fp_run_write, "extmem.run.write");
+GORDER_FAILPOINT_DEFINE(fp_merge_open, "extmem.merge.open");
+GORDER_FAILPOINT_DEFINE(fp_merge_read, "extmem.merge.read");
+GORDER_FAILPOINT_DEFINE(fp_ingest_open, "extmem.ingest.open");
+GORDER_FAILPOINT_DEFINE(fp_ingest_read, "extmem.ingest.read");
+GORDER_FAILPOINT_DEFINE(fp_ingest_alloc, "extmem.ingest.alloc");
+
+GORDER_OBS_COUNTER(c_runs_written, "extmem.runs_written");
+GORDER_OBS_COUNTER(c_run_bytes, "extmem.run_bytes");
+GORDER_OBS_COUNTER(c_merge_passes, "extmem.merge_passes");
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+inline bool EdgeLess(const Edge& a, const Edge& b) {
+  return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+}
+
+/// Streams `count` edges to `f` in large fwrite chunks.
+bool WriteEdgesBuffered(std::FILE* f, const Edge* edges, std::size_t count) {
+  constexpr std::size_t kChunk = (8u << 20) / sizeof(Edge);
+  while (count > 0) {
+    const std::size_t step = std::min(count, kChunk);
+    if (GORDER_FAULT_IO(fp_run_write, step,
+                        std::fwrite(edges, sizeof(Edge), step, f)) != step) {
+      return false;
+    }
+    edges += step;
+    count -= step;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RunSet
+
+IoResult RunSet::Create(const std::string& prefix) {
+  // The staging-infix name keeps the scratch directory inside the
+  // no-`.tmp.`-debris contract checked by the fault sweep.
+  dir_ = util::StagingPath(prefix + ".runs");
+  std::error_code ec;
+  if (GORDER_FAILPOINT(fp_run_mkdir) != util::FaultKind::kNone ||
+      !std::filesystem::create_directories(dir_, ec)) {
+    const std::string d = dir_;
+    dir_.clear();
+    return IoResult::Error("cannot create scratch directory " + d);
+  }
+  return IoResult::Ok();
+}
+
+IoResult RunSet::WriteRun(const Edge* edges, std::size_t count) {
+  const std::string path =
+      dir_ + "/run-" + std::to_string(next_id_++) + ".edges";
+  if (GORDER_FAILPOINT(fp_run_open) != util::FaultKind::kNone) {
+    return IoResult::Error("cannot open run file " + path);
+  }
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return IoResult::Error("cannot open run file " + path);
+  if (!WriteEdgesBuffered(f.get(), edges, count)) {
+    f.reset();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return IoResult::Error("short write to run file " + path);
+  }
+  // Scratch runs are intentionally not fsynced: they never outlive the
+  // build, and a crash aborts the whole build anyway.
+  runs_.push_back({path, count});
+  runs_written_ += 1;
+  bytes_written_ += count * sizeof(Edge);
+  GORDER_OBS_INC(c_runs_written);
+  GORDER_OBS_ADD(c_run_bytes, count * sizeof(Edge));
+  return IoResult::Ok();
+}
+
+IoResult RunSet::WriteMerged(MergeStream* merge, std::size_t buffer_edges) {
+  const std::string path =
+      dir_ + "/run-" + std::to_string(next_id_++) + ".edges";
+  if (GORDER_FAILPOINT(fp_run_open) != util::FaultKind::kNone) {
+    return IoResult::Error("cannot open run file " + path);
+  }
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return IoResult::Error("cannot open run file " + path);
+  auto fail = [&](IoResult r) {
+    f.reset();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return r;
+  };
+  std::vector<Edge> buf;
+  buf.reserve(std::max<std::size_t>(buffer_edges, 1));
+  std::uint64_t total = 0;
+  while (true) {
+    Edge e;
+    bool eof = false;
+    if (IoResult r = merge->Next(&e, &eof); !r.ok) return fail(r);
+    if (!eof) buf.push_back(e);
+    if (buf.size() >= buf.capacity() || (eof && !buf.empty())) {
+      if (!WriteEdgesBuffered(f.get(), buf.data(), buf.size())) {
+        return fail(IoResult::Error("short write to run file " + path));
+      }
+      total += buf.size();
+      buf.clear();
+    }
+    if (eof) break;
+  }
+  runs_.push_back({path, total});
+  runs_written_ += 1;
+  bytes_written_ += total * sizeof(Edge);
+  GORDER_OBS_INC(c_runs_written);
+  GORDER_OBS_ADD(c_run_bytes, total * sizeof(Edge));
+  return IoResult::Ok();
+}
+
+std::uint64_t RunSet::TotalEdges() const {
+  std::uint64_t total = 0;
+  for (const Run& r : runs_) total += r.edges;
+  return total;
+}
+
+void RunSet::DropRuns(std::size_t count) {
+  count = std::min(count, runs_.size());
+  std::error_code ec;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::filesystem::remove(runs_[i].path, ec);
+  }
+  runs_.erase(runs_.begin(),
+              runs_.begin() + static_cast<std::ptrdiff_t>(count));
+}
+
+void RunSet::Remove() {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove_all(dir_, ec);  // best-effort
+  dir_.clear();
+  runs_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// MergeStream
+
+struct MergeStream::Source {
+  FilePtr file;
+  std::string path;
+  std::vector<Edge> buffer;
+  std::size_t pos = 0;    // next unread edge in buffer
+  std::size_t filled = 0; // valid edges in buffer
+  std::uint64_t remaining = 0;  // edges left in the file
+};
+
+MergeStream::MergeStream() = default;
+
+MergeStream::~MergeStream() { Close(); }
+
+void MergeStream::Close() {
+  sources_.clear();
+  heap_.clear();
+  have_last_ = false;
+}
+
+IoResult MergeStream::Refill(Source& src) {
+  const std::size_t want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(src.buffer.capacity(), src.remaining));
+  src.buffer.resize(want);
+  if (want > 0 &&
+      GORDER_FAULT_IO(fp_merge_read, want,
+                      std::fread(src.buffer.data(), sizeof(Edge), want,
+                                 src.file.get())) != want) {
+    return IoResult::Error("short read from run file " + src.path);
+  }
+  src.pos = 0;
+  src.filled = want;
+  src.remaining -= want;
+  return IoResult::Ok();
+}
+
+bool MergeStream::SourceLess(std::uint32_t a, std::uint32_t b) const {
+  const Edge& ea = sources_[a]->buffer[sources_[a]->pos];
+  const Edge& eb = sources_[b]->buffer[sources_[b]->pos];
+  if (ea.src != eb.src) return ea.src < eb.src;
+  if (ea.dst != eb.dst) return ea.dst < eb.dst;
+  return a < b;  // deterministic tie-break across runs
+}
+
+void MergeStream::HeapSiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < n && SourceLess(heap_[l], heap_[smallest])) smallest = l;
+    if (r < n && SourceLess(heap_[r], heap_[smallest])) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+IoResult MergeStream::Open(const RunSet& runs, std::size_t first,
+                           std::size_t count, std::size_t buffer_edges) {
+  Close();
+  buffer_edges = std::max<std::size_t>(buffer_edges, 64);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto src = std::make_unique<Source>();
+    src->path = runs.RunPath(first + i);
+    src->remaining = runs.RunEdges(first + i);
+    if (src->remaining == 0) continue;  // empty run: nothing to merge
+    if (GORDER_FAILPOINT(fp_merge_open) != util::FaultKind::kNone) {
+      return IoResult::Error("cannot open run file " + src->path);
+    }
+    src->file.reset(std::fopen(src->path.c_str(), "rb"));
+    if (!src->file) {
+      return IoResult::Error("cannot open run file " + src->path);
+    }
+    src->buffer.reserve(buffer_edges);
+    if (IoResult r = Refill(*src); !r.ok) return r;
+    sources_.push_back(std::move(src));
+    heap_.push_back(static_cast<std::uint32_t>(sources_.size() - 1));
+  }
+  // Heapify (sift down from the last parent).
+  for (std::size_t i = heap_.size() / 2; i-- > 0;) HeapSiftDown(i);
+  return IoResult::Ok();
+}
+
+IoResult MergeStream::Next(Edge* edge, bool* eof) {
+  while (!heap_.empty()) {
+    const std::uint32_t top = heap_[0];
+    Source& src = *sources_[top];
+    const Edge e = src.buffer[src.pos++];
+    if (src.pos == src.filled) {
+      if (src.remaining > 0) {
+        if (IoResult r = Refill(src); !r.ok) return r;
+      }
+      if (src.pos == src.filled) {
+        // Source exhausted: remove from the heap.
+        heap_[0] = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty()) HeapSiftDown(0);
+      } else {
+        HeapSiftDown(0);
+      }
+    } else {
+      HeapSiftDown(0);
+    }
+    if (have_last_ && e == last_) continue;  // duplicate: emit once
+    last_ = e;
+    have_last_ = true;
+    *edge = e;
+    *eof = false;
+    return IoResult::Ok();
+  }
+  *eof = true;
+  return IoResult::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// ExternalEdgeSorter
+
+ExternalEdgeSorter::ExternalEdgeSorter(const ExtmemOptions& options)
+    : options_(options) {
+  // The explicit override is honoured down to 2 edges so tests can force
+  // run boundaries anywhere; the derived default keeps a sane floor.
+  buffer_capacity_ =
+      options.run_buffer_edges != 0
+          ? std::max<std::size_t>(options.run_buffer_edges, 2)
+          : std::max<std::size_t>(
+                4096, static_cast<std::size_t>(options.mem_budget_bytes / 2 /
+                                               sizeof(Edge)));
+  const std::size_t fanin = std::max<std::size_t>(options.merge_fanin, 2);
+  options_.merge_fanin = fanin;
+  // A quarter of the budget split across the merge read buffers.
+  merge_buffer_edges_ = std::clamp<std::size_t>(
+      static_cast<std::size_t>(options.mem_budget_bytes / 4 / fanin /
+                               sizeof(Edge)),
+      1024, 1u << 20);
+}
+
+IoResult ExternalEdgeSorter::Create(const std::string& prefix) {
+  buffer_.reserve(std::min<std::size_t>(buffer_capacity_, 1u << 16));
+  return runs_.Create(prefix);
+}
+
+IoResult ExternalEdgeSorter::SpillBuffer() {
+  if (buffer_.empty()) return IoResult::Ok();
+  std::sort(buffer_.begin(), buffer_.end(), EdgeLess);
+  IoResult r = runs_.WriteRun(buffer_.data(), buffer_.size());
+  buffer_.clear();
+  return r;
+}
+
+IoResult ExternalEdgeSorter::Add(Edge e) {
+  buffer_.push_back(e);
+  ++edges_added_;
+  if (buffer_.size() >= buffer_capacity_) return SpillBuffer();
+  return IoResult::Ok();
+}
+
+IoResult ExternalEdgeSorter::AddBatch(const Edge* edges, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (IoResult r = Add(edges[i]); !r.ok) return r;
+  }
+  return IoResult::Ok();
+}
+
+IoResult ExternalEdgeSorter::Finish(ExtBuildStats* stats) {
+  if (IoResult r = SpillBuffer(); !r.ok) return r;
+  buffer_.shrink_to_fit();  // release the run buffer before merge phases
+  // Compact until one merge pass can cover everything.
+  while (runs_.NumRuns() > options_.merge_fanin) {
+    MergeStream merge;
+    if (IoResult r = merge.Open(runs_, 0, options_.merge_fanin,
+                                merge_buffer_edges_);
+        !r.ok) {
+      return r;
+    }
+    if (IoResult r = runs_.WriteMerged(&merge, merge_buffer_edges_); !r.ok) {
+      return r;
+    }
+    merge.Close();
+    runs_.DropRuns(options_.merge_fanin);
+    if (stats != nullptr) stats->merge_passes += 1;
+    GORDER_OBS_INC(c_merge_passes);
+  }
+  finished_ = true;
+  if (stats != nullptr) {
+    stats->runs_written += runs_.runs_written();
+    stats->run_bytes += runs_.bytes_written();
+  }
+  return IoResult::Ok();
+}
+
+IoResult ExternalEdgeSorter::OpenMerge(MergeStream* merge) const {
+  return merge->Open(runs_, 0, runs_.NumRuns(), merge_buffer_edges_);
+}
+
+// ---------------------------------------------------------------------------
+// EdgeListStreamer
+
+namespace internal {
+
+namespace {
+
+/// Parses complete lines in data[0, end). Grammar identical to
+/// ReadEdgeList (edgelist_io.cpp): leading blanks, '#'/'%' comments,
+/// two decimal ids, arbitrary trailing junk. On error returns the byte
+/// offset of the offending line and a message; otherwise fills `edges`.
+struct RegionParse {
+  std::size_t error_offset = static_cast<std::size_t>(-1);
+  const char* error_kind = nullptr;
+  bool ok() const { return error_kind == nullptr; }
+};
+
+RegionParse ParseRegion(const char* data, std::size_t end,
+                        std::vector<Edge>* edges, NodeId* max_node,
+                        bool* saw_node) {
+  RegionParse out;
+  std::size_t p = 0;
+  while (p < end) {
+    const std::size_t line_start = p;
+    while (p < end && (data[p] == ' ' || data[p] == '\t')) ++p;
+    if (p < end && (data[p] == '#' || data[p] == '%' || data[p] == '\n' ||
+                    data[p] == '\0' || data[p] == '\r')) {
+      while (p < end && data[p] != '\n') ++p;
+      if (p < end) ++p;
+      continue;
+    }
+    if (p >= end) break;  // trailing blanks with no newline
+    std::uint64_t ids[2];
+    bool field_ok = true;
+    for (int k = 0; k < 2 && field_ok; ++k) {
+      while (p < end && (data[p] == ' ' || data[p] == '\t')) ++p;
+      if (p >= end || data[p] < '0' || data[p] > '9') {
+        field_ok = false;
+        break;
+      }
+      std::uint64_t value = 0;
+      while (p < end && data[p] >= '0' && data[p] <= '9') {
+        value = value * 10 + static_cast<std::uint64_t>(data[p] - '0');
+        if (value > 0xFFFFFFFFFULL) value = 0xFFFFFFFFFULL;  // clamp, reject
+        ++p;
+      }
+      ids[k] = value;
+    }
+    if (!field_ok) {
+      out.error_offset = line_start;
+      out.error_kind = "malformed edge line";
+      return out;
+    }
+    if (ids[0] > 0xFFFFFFFEULL || ids[1] > 0xFFFFFFFEULL) {
+      out.error_offset = line_start;
+      out.error_kind = "node id out of 32-bit range";
+      return out;
+    }
+    const NodeId src = static_cast<NodeId>(ids[0]);
+    const NodeId dst = static_cast<NodeId>(ids[1]);
+    edges->push_back({src, dst});
+    const NodeId hi = std::max(src, dst);
+    if (!*saw_node || hi > *max_node) *max_node = hi;
+    *saw_node = true;
+    while (p < end && data[p] != '\n') ++p;
+    if (p < end) ++p;
+  }
+  return out;
+}
+
+}  // namespace
+
+IoResult StreamEdgeListImpl(const std::string& path,
+                            IoResult (*emit)(void* ctx, const Edge* edges,
+                                             std::size_t count),
+                            void* ctx, NodeId* max_node, bool* saw_node) {
+  if (GORDER_FAILPOINT(fp_ingest_open) != util::FaultKind::kNone) {
+    return IoResult::Error("cannot open " + path);
+  }
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return IoResult::Error("cannot open " + path);
+
+  NodeId local_max = 0;
+  bool local_saw = false;
+  std::vector<char> buf;
+  std::vector<Edge> edges;
+  constexpr std::size_t kMaxLine = 64u << 20;  // pathological-line ceiling
+  try {
+    GORDER_FAULT_ALLOC(fp_ingest_alloc);
+    buf.resize(1u << 20);
+  } catch (const std::bad_alloc&) {
+    return IoResult::Error("cannot allocate read buffer for " + path);
+  }
+  std::size_t carry = 0;       // bytes held over from the previous read
+  std::size_t line_base = 1;   // line number of the first carried byte
+  while (true) {
+    const std::size_t want = buf.size() - carry;
+    // A short count here is legitimate (EOF), so a real error is only
+    // detectable via ferror — and an injected fault via the mismatch
+    // between the real transfer and the faulted one.
+    const std::size_t real = std::fread(buf.data() + carry, 1, want, f.get());
+    const std::size_t got = GORDER_FAULT_IO(fp_ingest_read, want, real);
+    if (got != real || std::ferror(f.get())) {
+      return IoResult::Error("short read from " + path);
+    }
+    const std::size_t filled = carry + got;
+    const bool eof = got < want;
+    // Parse up to the last complete line (or everything at EOF).
+    std::size_t region = filled;
+    if (!eof) {
+      while (region > 0 && buf[region - 1] != '\n') --region;
+      if (region == 0) {
+        // No newline in the whole buffer: an over-long line. Grow (rare)
+        // up to the ceiling rather than splitting a token.
+        if (filled == buf.size()) {
+          if (buf.size() >= kMaxLine) {
+            return IoResult::Error(path + ": line exceeds " +
+                                   std::to_string(kMaxLine) + " bytes");
+          }
+          try {
+            GORDER_FAULT_ALLOC(fp_ingest_alloc);
+            buf.resize(buf.size() * 2);
+          } catch (const std::bad_alloc&) {
+            return IoResult::Error("cannot allocate read buffer for " + path);
+          }
+        }
+        carry = filled;
+        continue;
+      }
+    }
+    edges.clear();
+    RegionParse parse =
+        ParseRegion(buf.data(), region, &edges, &local_max, &local_saw);
+    if (!parse.ok()) {
+      std::size_t line = line_base;
+      for (std::size_t i = 0; i < parse.error_offset; ++i) {
+        if (buf[i] == '\n') ++line;
+      }
+      return IoResult::Error(path + ":" + std::to_string(line) + ": " +
+                             parse.error_kind);
+    }
+    if (!edges.empty()) {
+      if (IoResult r = emit(ctx, edges.data(), edges.size()); !r.ok) return r;
+    }
+    for (std::size_t i = 0; i < region; ++i) {
+      if (buf[i] == '\n') ++line_base;
+    }
+    carry = filled - region;
+    if (carry > 0) std::memmove(buf.data(), buf.data() + region, carry);
+    if (eof) break;
+  }
+  if (max_node != nullptr) *max_node = local_max;
+  if (saw_node != nullptr) *saw_node = local_saw;
+  return IoResult::Ok();
+}
+
+}  // namespace internal
+
+}  // namespace gorder::extmem

@@ -1,0 +1,283 @@
+#include "extmem/ext_csr.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <new>
+
+#include "extmem/windowed_file.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "store/fingerprint.h"
+#include "store/gpack.h"
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "util/failpoint.h"
+
+namespace gorder::extmem {
+
+namespace {
+
+GORDER_FAILPOINT_DEFINE(fp_csr_alloc, "extmem.csr.alloc");
+
+GORDER_OBS_COUNTER(c_ext_builds, "extmem.pack_builds");
+GORDER_OBS_COUNTER(c_ext_edges, "extmem.edges_ingested");
+
+/// Streams one neighbor section: pulls edges off `merge`, emits
+/// `pick(edge)` as the next NodeId at `section_offset`, updating the
+/// running CRC and (optionally) the content fingerprint.
+template <typename Pick>
+IoResult StreamNeighborSection(MergeStream* merge, WindowedWriter* writer,
+                               std::uint64_t section_offset, Pick pick,
+                               std::uint32_t* crc, store::Hash64* fingerprint,
+                               std::uint64_t* count) {
+  std::vector<NodeId> buf;
+  buf.reserve(1u << 16);
+  std::uint64_t written = 0;
+  auto flush = [&]() -> IoResult {
+    if (buf.empty()) return IoResult::Ok();
+    const std::uint64_t bytes = buf.size() * sizeof(NodeId);
+    IoResult r = writer->WriteAt(section_offset + written * sizeof(NodeId),
+                                 buf.data(), static_cast<std::size_t>(bytes));
+    if (!r.ok) return r;
+    *crc = Crc32(buf.data(), static_cast<std::size_t>(bytes), *crc);
+    if (fingerprint != nullptr) {
+      for (NodeId v : buf) fingerprint->Mix(v);
+    }
+    written += buf.size();
+    buf.clear();
+    return IoResult::Ok();
+  };
+  while (true) {
+    Edge e;
+    bool eof = false;
+    if (IoResult r = merge->Next(&e, &eof); !r.ok) return r;
+    if (eof) break;
+    if (e.src == e.dst) continue;  // self-loops dropped, as in Builder
+    buf.push_back(pick(e));
+    if (buf.size() == buf.capacity()) {
+      if (IoResult r = flush(); !r.ok) return r;
+    }
+  }
+  if (IoResult r = flush(); !r.ok) return r;
+  if (count != nullptr) *count = written;
+  return IoResult::Ok();
+}
+
+}  // namespace
+
+ExtPackBuilder::ExtPackBuilder(const ExtmemOptions& options)
+    : options_(options), forward_(options) {}
+
+IoResult ExtPackBuilder::Begin(const std::string& pack_path) {
+  pack_path_ = pack_path;
+  scratch_prefix_ =
+      options_.scratch_dir.empty()
+          ? pack_path
+          : options_.scratch_dir + "/" +
+                std::filesystem::path(pack_path).filename().string();
+  std::error_code ec;
+  const std::filesystem::path target(pack_path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+  if (!options_.scratch_dir.empty()) {
+    std::filesystem::create_directories(options_.scratch_dir, ec);
+  }
+  if (IoResult r = forward_.Create(scratch_prefix_ + ".fwd"); !r.ok) return r;
+  begun_ = true;
+  return IoResult::Ok();
+}
+
+void ExtPackBuilder::ReserveNodes(NodeId n) {
+  reserved_nodes_ = std::max(reserved_nodes_, n);
+}
+
+IoResult ExtPackBuilder::Add(NodeId src, NodeId dst) {
+  // Track n over *all* ingested edges — Graph::Builder grows the node
+  // count before it strips self-loops, and bit-identity depends on it.
+  const NodeId hi = std::max(src, dst);
+  if (!saw_node_ || hi > max_node_) max_node_ = hi;
+  saw_node_ = true;
+  ++stats_.edges_ingested;
+  if (src == dst) return IoResult::Ok();  // dropped, like Builder::Build()
+  return forward_.Add({src, dst});
+}
+
+IoResult ExtPackBuilder::AddBatch(const Edge* edges, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (IoResult r = Add(edges[i].src, edges[i].dst); !r.ok) return r;
+  }
+  return IoResult::Ok();
+}
+
+IoResult ExtPackBuilder::Finish() {
+  IoResult r = FinishImpl();
+  forward_.ReleaseScratch();
+  return r;
+}
+
+IoResult ExtPackBuilder::FinishImpl() {
+  GORDER_OBS_SPAN(span, "extmem.pack_build");
+  if (!begun_) return IoResult::Error("ExtPackBuilder::Begin was not called");
+  const std::uint64_t n =
+      std::max<std::uint64_t>(saw_node_ ? std::uint64_t{max_node_} + 1 : 0,
+                              reserved_nodes_);
+
+  if (IoResult r = forward_.Finish(&stats_); !r.ok) return r;
+
+  // --- Pass A: count degrees, spill the transposed stream. -------------
+  std::vector<EdgeId> out_off, in_off;
+  try {
+    GORDER_FAULT_ALLOC(fp_csr_alloc);
+    out_off.assign(static_cast<std::size_t>(n) + 1, 0);
+    in_off.assign(static_cast<std::size_t>(n) + 1, 0);
+  } catch (const std::bad_alloc&) {
+    return IoResult::Error("cannot allocate offset arrays for " +
+                           std::to_string(n) + " nodes");
+  }
+  ExternalEdgeSorter transposed(options_);
+  if (IoResult r = transposed.Create(scratch_prefix_ + ".rev"); !r.ok) {
+    return r;
+  }
+  std::uint64_t m = 0;
+  {
+    MergeStream merge;
+    if (IoResult r = forward_.OpenMerge(&merge); !r.ok) return r;
+    while (true) {
+      Edge e;
+      bool eof = false;
+      if (IoResult r = merge.Next(&e, &eof); !r.ok) return r;
+      if (eof) break;
+      ++m;
+      ++out_off[static_cast<std::size_t>(e.src) + 1];
+      ++in_off[static_cast<std::size_t>(e.dst) + 1];
+      if (IoResult r = transposed.Add({e.dst, e.src}); !r.ok) return r;
+    }
+  }
+  if (IoResult r = transposed.Finish(&stats_); !r.ok) return r;
+  stats_.edges_final = m;
+
+  // --- Pass B: prefix sums, stream the four sections into the pack. ----
+  for (std::size_t v = 0; v < n; ++v) out_off[v + 1] += out_off[v];
+  for (std::size_t v = 0; v < n; ++v) in_off[v + 1] += in_off[v];
+
+  store::Hash64 fingerprint;
+  fingerprint.Mix(n);
+  fingerprint.Mix(m);
+  for (EdgeId off : out_off) fingerprint.Mix(off);
+
+  const store::GpackLayout layout = store::ComputeGpackLayout(n, m);
+  const std::size_t window = std::clamp<std::size_t>(
+      static_cast<std::size_t>(options_.mem_budget_bytes / 4), 1u << 20,
+      256u << 20);
+  const std::string tmp = util::StagingPath(pack_path_);
+  WindowedWriter writer;
+  auto fail = [&](IoResult r) {
+    writer.Close();
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return r;
+  };
+  if (IoResult r = writer.Create(tmp, layout.file_bytes, window); !r.ok) {
+    return fail(r);
+  }
+
+  std::uint32_t crcs[4] = {};
+  const std::uint64_t off_bytes = (n + 1) * sizeof(EdgeId);
+  crcs[0] = Crc32(out_off.data(), static_cast<std::size_t>(off_bytes));
+  crcs[2] = Crc32(in_off.data(), static_cast<std::size_t>(off_bytes));
+  if (IoResult r = writer.WriteAt(layout.out_offsets, out_off.data(),
+                                  static_cast<std::size_t>(off_bytes));
+      !r.ok) {
+    return fail(r);
+  }
+  if (IoResult r = writer.WriteAt(layout.in_offsets, in_off.data(),
+                                  static_cast<std::size_t>(off_bytes));
+      !r.ok) {
+    return fail(r);
+  }
+
+  std::uint64_t out_count = 0, in_count = 0;
+  {
+    MergeStream merge;
+    if (IoResult r = forward_.OpenMerge(&merge); !r.ok) return fail(r);
+    if (IoResult r = StreamNeighborSection(
+            &merge, &writer, layout.out_neighbors,
+            [](const Edge& e) { return e.dst; }, &crcs[1], &fingerprint,
+            &out_count);
+        !r.ok) {
+      return fail(r);
+    }
+  }
+  {
+    MergeStream merge;
+    if (IoResult r = transposed.OpenMerge(&merge); !r.ok) return fail(r);
+    // Transposed edges are (dst, src): sorted by dst then src, so the
+    // second component streams exactly the in-neighbor lists.
+    if (IoResult r = StreamNeighborSection(
+            &merge, &writer, layout.in_neighbors,
+            [](const Edge& e) { return e.dst; }, &crcs[3], nullptr,
+            &in_count);
+        !r.ok) {
+      return fail(r);
+    }
+  }
+  transposed.ReleaseScratch();
+  if (out_count != m || in_count != m) {
+    return fail(IoResult::Error("merge replay disagreed on edge count (" +
+                                std::to_string(out_count) + "/" +
+                                std::to_string(in_count) + " vs " +
+                                std::to_string(m) + ")"));
+  }
+
+  const std::string header =
+      store::SerializeGpackHeader(n, m, fingerprint.Digest(), crcs);
+  if (IoResult r = writer.WriteAt(0, header.data(), header.size()); !r.ok) {
+    return fail(r);
+  }
+  if (IoResult r = writer.Sync(); !r.ok) return fail(r);
+  writer.Close();
+  if (IoResult r = util::CommitStagedFile(tmp, pack_path_); !r.ok) return r;
+  stats_.window_remaps = writer.window_remaps();
+  GORDER_OBS_INC(c_ext_builds);
+  GORDER_OBS_ADD(c_ext_edges, stats_.edges_ingested);
+  return IoResult::Ok();
+}
+
+IoResult StreamEdgeListToPack(const std::string& edge_path,
+                              const std::string& pack_path,
+                              const ExtmemOptions& options,
+                              ExtBuildStats* stats) {
+  ExtPackBuilder builder(options);
+  if (IoResult r = builder.Begin(pack_path); !r.ok) return r;
+  IoResult r = EdgeListStreamer::Stream(
+      edge_path, [&](const Edge* edges, std::size_t count) {
+        return builder.AddBatch(edges, count);
+      });
+  if (!r.ok) return r;
+  if (r = builder.Finish(); !r.ok) return r;
+  if (stats != nullptr) *stats = builder.stats();
+  return IoResult::Ok();
+}
+
+MemoryEstimates EstimateMemory(std::uint64_t num_nodes,
+                               std::uint64_t num_edges,
+                               const ExtmemOptions& options) {
+  const std::uint64_t n = num_nodes, m = num_edges;
+  MemoryEstimates est;
+  est.pack_file_bytes = store::ComputeGpackLayout(n, m).file_bytes;
+  est.copy_load_bytes = 2 * (n + 1) * sizeof(EdgeId) + 2 * m * sizeof(NodeId);
+  // FromEdges holds the edge list plus both CSRs plus counting arrays at
+  // its peak.
+  est.inmem_build_peak_bytes =
+      m * sizeof(Edge) + est.copy_load_bytes + 2 * (n + 1) * sizeof(EdgeId);
+  // Extmem build: two offset arrays plus the streaming budget.
+  est.extmem_build_bytes =
+      2 * (n + 1) * sizeof(EdgeId) + options.mem_budget_bytes;
+  // Semi-external Gorder: packed unit heap (16 B/slot), permutation,
+  // window bookkeeping — the adjacency itself stays on disk.
+  est.gorder_state_bytes = n * 16 + 2 * n * sizeof(NodeId);
+  return est;
+}
+
+}  // namespace gorder::extmem

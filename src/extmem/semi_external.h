@@ -1,0 +1,41 @@
+#ifndef GORDER_EXTMEM_SEMI_EXTERNAL_H_
+#define GORDER_EXTMEM_SEMI_EXTERNAL_H_
+
+/// Semi-external ordering (DESIGN.md §18).
+///
+/// Gorder's greedy window algorithm only needs O(n) vertex state in RAM
+/// — the packed unit heap, the permutation, and per-vertex scores — while
+/// the adjacency is read through whatever backs the CSR arrays. Running
+/// the unchanged kernels over a zero-copy mapped .gpack therefore *is*
+/// the semi-external algorithm: the OS pages adjacency windows in and
+/// out on demand, RAM holds only vertex state, and the output is
+/// bit-identical to the in-memory run by construction (same code, same
+/// values). This header packages that as a one-call API with
+/// method-appropriate paging advice (sequential for the single-pass
+/// BOBA/degree methods, on-demand for Gorder's windowed access).
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "order/ordering.h"
+#include "util/io_result.h"
+
+namespace gorder::extmem {
+
+struct SemiExternalInfo {
+  std::uint64_t pack_bytes = 0;  // mapped pack size (address space, not RSS)
+  bool zero_copy = false;        // true when a real mmap backed the run
+};
+
+/// Computes `perm[old] = new` for the graph stored at `pack_path`,
+/// keeping only vertex state in RAM. Bit-identical to ComputeOrdering on
+/// the same graph loaded in memory (the differential test asserts it).
+IoResult SemiExternalOrder(const std::string& pack_path, order::Method method,
+                           const order::OrderingParams& params,
+                           std::vector<NodeId>* perm,
+                           SemiExternalInfo* info = nullptr);
+
+}  // namespace gorder::extmem
+
+#endif  // GORDER_EXTMEM_SEMI_EXTERNAL_H_

@@ -1,0 +1,180 @@
+#include "extmem/windowed_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/failpoint.h"
+
+#if defined(__linux__) || defined(__APPLE__)
+#define GORDER_EXTMEM_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace gorder::extmem {
+
+namespace {
+
+GORDER_FAILPOINT_DEFINE(fp_pack_open, "extmem.pack.open");
+GORDER_FAILPOINT_DEFINE(fp_pack_map, "extmem.pack.map");
+GORDER_FAILPOINT_DEFINE(fp_pack_write, "extmem.pack.write");
+GORDER_FAILPOINT_DEFINE(fp_pack_sync, "extmem.pack.sync");
+
+std::size_t PageSize() {
+#ifdef GORDER_EXTMEM_HAS_MMAP
+  const long ps = ::sysconf(_SC_PAGESIZE);
+  return ps > 0 ? static_cast<std::size_t>(ps) : 4096;
+#else
+  return 4096;
+#endif
+}
+
+}  // namespace
+
+WindowedWriter::~WindowedWriter() { Close(); }
+
+void WindowedWriter::UnmapWindow() {
+#ifdef GORDER_EXTMEM_HAS_MMAP
+  if (window_ != nullptr) {
+    ::munmap(window_, win_len_);
+    window_ = nullptr;
+    win_len_ = 0;
+  }
+#endif
+}
+
+void WindowedWriter::Close() {
+  UnmapWindow();
+#ifdef GORDER_EXTMEM_HAS_MMAP
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+#endif
+  if (fallback_ != nullptr) {
+    std::fclose(fallback_);
+    fallback_ = nullptr;
+  }
+}
+
+IoResult WindowedWriter::Create(const std::string& path,
+                                std::uint64_t file_bytes,
+                                std::size_t window_bytes) {
+  Close();
+  path_ = path;
+  file_bytes_ = file_bytes;
+  const std::size_t page = PageSize();
+  window_bytes_ = std::max<std::size_t>(window_bytes / page, 1) * page;
+#ifdef GORDER_EXTMEM_HAS_MMAP
+  if (GORDER_FAILPOINT(fp_pack_open) != util::FaultKind::kNone) {
+    return IoResult::Error("cannot create " + path);
+  }
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) return IoResult::Error("cannot create " + path);
+  // Pre-size sparsely: untouched ranges read back as zeros, which is
+  // byte-identical to the padding the in-memory writer emits.
+  if (file_bytes > 0 &&
+      ::ftruncate(fd_, static_cast<off_t>(file_bytes)) != 0) {
+    return IoResult::Error("cannot size " + path + " to " +
+                           std::to_string(file_bytes) + " bytes");
+  }
+#else
+  if (GORDER_FAILPOINT(fp_pack_open) != util::FaultKind::kNone) {
+    return IoResult::Error("cannot create " + path);
+  }
+  fallback_ = std::fopen(path.c_str(), "wb+");
+  if (fallback_ == nullptr) return IoResult::Error("cannot create " + path);
+  if (file_bytes > 0) {
+    // Extend by writing the last byte; the gaps read back as zeros on
+    // every mainstream filesystem.
+    if (std::fseek(fallback_, static_cast<long>(file_bytes - 1), SEEK_SET) !=
+            0 ||
+        std::fputc(0, fallback_) == EOF) {
+      return IoResult::Error("cannot size " + path);
+    }
+  }
+#endif
+  return IoResult::Ok();
+}
+
+IoResult WindowedWriter::MapWindow(std::uint64_t offset) {
+#ifdef GORDER_EXTMEM_HAS_MMAP
+  UnmapWindow();
+  const std::size_t page = PageSize();
+  const std::uint64_t start = offset / page * page;
+  const std::size_t len = static_cast<std::size_t>(
+      std::min<std::uint64_t>(window_bytes_, file_bytes_ - start));
+  if (GORDER_FAILPOINT(fp_pack_map) != util::FaultKind::kNone) {
+    return IoResult::Error("cannot map write window of " + path_);
+  }
+  void* mem = ::mmap(nullptr, len, PROT_READ | PROT_WRITE, MAP_SHARED, fd_,
+                     static_cast<off_t>(start));
+  if (mem == MAP_FAILED) {
+    return IoResult::Error("cannot map write window of " + path_);
+  }
+  window_ = mem;
+  win_start_ = start;
+  win_len_ = len;
+  ++remaps_;
+  return IoResult::Ok();
+#else
+  (void)offset;
+  return IoResult::Ok();
+#endif
+}
+
+IoResult WindowedWriter::WriteAt(std::uint64_t offset, const void* data,
+                                 std::size_t bytes) {
+  if (offset + bytes > file_bytes_) {
+    return IoResult::Error("write past end of " + path_);
+  }
+  if (GORDER_FAILPOINT(fp_pack_write) != util::FaultKind::kNone) {
+    return IoResult::Error("short write to " + path_);
+  }
+#ifdef GORDER_EXTMEM_HAS_MMAP
+  const char* src = static_cast<const char*>(data);
+  while (bytes > 0) {
+    if (window_ == nullptr || offset < win_start_ ||
+        offset >= win_start_ + win_len_) {
+      if (IoResult r = MapWindow(offset); !r.ok) return r;
+    }
+    const std::size_t in_window = static_cast<std::size_t>(
+        std::min<std::uint64_t>(bytes, win_start_ + win_len_ - offset));
+    std::memcpy(static_cast<char*>(window_) + (offset - win_start_), src,
+                in_window);
+    src += in_window;
+    offset += in_window;
+    bytes -= in_window;
+  }
+  return IoResult::Ok();
+#else
+  if (std::fseek(fallback_, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fwrite(data, 1, bytes, fallback_) != bytes) {
+    return IoResult::Error("short write to " + path_);
+  }
+  return IoResult::Ok();
+#endif
+}
+
+IoResult WindowedWriter::Sync() {
+#ifdef GORDER_EXTMEM_HAS_MMAP
+  bool ok = true;
+  if (window_ != nullptr && ::msync(window_, win_len_, MS_SYNC) != 0) {
+    ok = false;
+  }
+  if (ok && fd_ >= 0 && ::fsync(fd_) != 0) ok = false;
+  if (!GORDER_FAULT_OK(fp_pack_sync, ok)) {
+    return IoResult::Error("cannot sync " + path_);
+  }
+  return IoResult::Ok();
+#else
+  const bool ok = fallback_ != nullptr && std::fflush(fallback_) == 0;
+  if (!GORDER_FAULT_OK(fp_pack_sync, ok)) {
+    return IoResult::Error("cannot sync " + path_);
+  }
+  return IoResult::Ok();
+#endif
+}
+
+}  // namespace gorder::extmem

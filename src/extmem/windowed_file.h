@@ -1,0 +1,69 @@
+#ifndef GORDER_EXTMEM_WINDOWED_FILE_H_
+#define GORDER_EXTMEM_WINDOWED_FILE_H_
+
+/// Windowed mmap writer (DESIGN.md §18).
+///
+/// Writes into a pre-sized file through a bounded, sliding memory-mapped
+/// window: the file is created at its final size up front (a sparse
+/// ftruncate — untouched ranges read back as zeros, exactly the padding
+/// bytes the in-memory pack writer emits), and WriteAt() copies through
+/// a MAP_SHARED window that is remapped as the write cursor leaves it.
+/// Address-space use is bounded by the window size regardless of file
+/// size, which is what lets the external CSR build run under a hard
+/// `ulimit -v` cap that the whole file would bust.
+///
+/// On platforms without mmap the same interface falls back to
+/// positioned stdio writes.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/io_result.h"
+
+namespace gorder::extmem {
+
+class WindowedWriter {
+ public:
+  WindowedWriter() = default;
+  ~WindowedWriter();
+  WindowedWriter(const WindowedWriter&) = delete;
+  WindowedWriter& operator=(const WindowedWriter&) = delete;
+
+  /// Creates (truncating) `path` at exactly `file_bytes` and prepares a
+  /// write window of ~`window_bytes` (rounded to whole pages, min one).
+  IoResult Create(const std::string& path, std::uint64_t file_bytes,
+                  std::size_t window_bytes);
+
+  /// Copies `bytes` to absolute file offset `offset`. Any offset within
+  /// the file is valid; sequential writes advance the window without
+  /// thrashing. Writes crossing the window edge are split.
+  IoResult WriteAt(std::uint64_t offset, const void* data, std::size_t bytes);
+
+  /// Flushes the current window and fsyncs the file to stable storage.
+  IoResult Sync();
+
+  /// Unmaps and closes (without syncing).
+  void Close();
+
+  std::uint64_t window_remaps() const { return remaps_; }
+  std::uint64_t file_bytes() const { return file_bytes_; }
+
+ private:
+  IoResult MapWindow(std::uint64_t offset);
+  void UnmapWindow();
+
+  std::string path_;
+  int fd_ = -1;
+  void* window_ = nullptr;        // nullptr: no window mapped
+  std::uint64_t win_start_ = 0;   // file offset of window_[0]
+  std::size_t win_len_ = 0;       // mapped length
+  std::size_t window_bytes_ = 0;  // configured window size (page-rounded)
+  std::uint64_t file_bytes_ = 0;
+  std::uint64_t remaps_ = 0;
+  std::FILE* fallback_ = nullptr;  // non-mmap platforms
+};
+
+}  // namespace gorder::extmem
+
+#endif  // GORDER_EXTMEM_WINDOWED_FILE_H_

@@ -62,6 +62,38 @@ Graph BarabasiAlbert(NodeId n, NodeId out_k, Rng& rng) {
   return builder.Build();
 }
 
+namespace {
+
+/// One R-MAT edge sample: recursive quadrant descent with multiplicative
+/// noise (+-10%) per level, which avoids the degree staircase artefact
+/// of noiseless R-MAT. Shared by the in-memory and chunked generators.
+Edge SampleRmatEdge(const RmatParams& params, double d, Rng& rng) {
+  NodeId src = 0, dst = 0;
+  for (int level = 0; level < params.scale; ++level) {
+    double na = params.a * (0.9 + 0.2 * rng.UniformDouble());
+    double nb = params.b * (0.9 + 0.2 * rng.UniformDouble());
+    double nc = params.c * (0.9 + 0.2 * rng.UniformDouble());
+    double nd = d * (0.9 + 0.2 * rng.UniformDouble());
+    double total = na + nb + nc + nd;
+    double r = rng.UniformDouble() * total;
+    src <<= 1;
+    dst <<= 1;
+    if (r < na) {
+      // top-left quadrant: no bits set
+    } else if (r < na + nb) {
+      dst |= 1;
+    } else if (r < na + nb + nc) {
+      src |= 1;
+    } else {
+      src |= 1;
+      dst |= 1;
+    }
+  }
+  return {src, dst};
+}
+
+}  // namespace
+
 Graph Rmat(const RmatParams& params, Rng& rng) {
   GORDER_CHECK(params.scale >= 1 && params.scale < 31);
   const double d = 1.0 - params.a - params.b - params.c;
@@ -70,32 +102,44 @@ Graph Rmat(const RmatParams& params, Rng& rng) {
   Graph::Builder builder(n);
   builder.ReserveEdges(params.num_edges);
   for (EdgeId e = 0; e < params.num_edges; ++e) {
-    NodeId src = 0, dst = 0;
-    for (int level = 0; level < params.scale; ++level) {
-      // Multiplicative noise (+-10%) per level avoids the degree
-      // staircase artefact of noiseless R-MAT.
-      double na = params.a * (0.9 + 0.2 * rng.UniformDouble());
-      double nb = params.b * (0.9 + 0.2 * rng.UniformDouble());
-      double nc = params.c * (0.9 + 0.2 * rng.UniformDouble());
-      double nd = d * (0.9 + 0.2 * rng.UniformDouble());
-      double total = na + nb + nc + nd;
-      double r = rng.UniformDouble() * total;
-      src <<= 1;
-      dst <<= 1;
-      if (r < na) {
-        // top-left quadrant: no bits set
-      } else if (r < na + nb) {
-        dst |= 1;
-      } else if (r < na + nb + nc) {
-        src |= 1;
-      } else {
-        src |= 1;
-        dst |= 1;
-      }
-    }
-    if (src != dst) builder.AddEdge(src, dst);
+    const Edge edge = SampleRmatEdge(params, d, rng);
+    if (edge.src != edge.dst) builder.AddEdge(edge.src, edge.dst);
   }
   return builder.Build();
+}
+
+IoResult StreamRmat(const RmatParams& params, std::uint64_t seed,
+                    std::size_t chunk_edges,
+                    const std::function<IoResult(const Edge*, std::size_t)>&
+                        sink) {
+  GORDER_CHECK(params.scale >= 1 && params.scale < 31);
+  GORDER_CHECK(chunk_edges > 0);
+  const double d = 1.0 - params.a - params.b - params.c;
+  GORDER_CHECK(d > 0.0);
+  std::vector<Edge> chunk;
+  chunk.reserve(std::min<std::size_t>(chunk_edges, 1u << 20));
+  EdgeId remaining = params.num_edges;
+  std::uint64_t chunk_index = 0;
+  while (remaining > 0) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<EdgeId>(remaining, chunk_edges));
+    // Communication-free chunk seeding: each chunk's generator depends
+    // only on (seed, chunk_index), so chunks could be produced in any
+    // order or in parallel with the same result.
+    SplitMix64 sm(seed ^ (0x9E3779B97F4A7C15ULL * (chunk_index + 1)));
+    Rng rng(sm.Next());
+    chunk.clear();
+    for (std::size_t e = 0; e < want; ++e) {
+      const Edge edge = SampleRmatEdge(params, d, rng);
+      if (edge.src != edge.dst) chunk.push_back(edge);
+    }
+    if (!chunk.empty()) {
+      if (IoResult r = sink(chunk.data(), chunk.size()); !r.ok) return r;
+    }
+    remaining -= want;
+    ++chunk_index;
+  }
+  return IoResult::Ok();
 }
 
 Graph CopyingModel(NodeId n, NodeId out_k, double copy_prob, Rng& rng) {

@@ -1,7 +1,10 @@
 #ifndef GORDER_GEN_GENERATORS_H_
 #define GORDER_GEN_GENERATORS_H_
 
+#include <functional>
+
 #include "graph/graph.h"
+#include "util/io_result.h"
 #include "util/rng.h"
 
 namespace gorder::gen {
@@ -27,6 +30,19 @@ struct RmatParams {
   double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
 };
 Graph Rmat(const RmatParams& params, Rng& rng);
+
+/// Chunked R-MAT for the out-of-core pipeline: samples the same model as
+/// Rmat but emits edges in chunks of `chunk_edges` through `sink`
+/// (self-loop attempts are skipped, like Rmat), never materialising the
+/// edge list. Each chunk draws from its own PRNG seeded from
+/// (seed, chunk index) — KaGen-style communication-free chunking — so
+/// the output is deterministic in (params, seed, chunk_edges) and RAM
+/// stays O(chunk_edges) however many edges are requested. Stops at the
+/// first sink error and propagates it.
+IoResult StreamRmat(const RmatParams& params, std::uint64_t seed,
+                    std::size_t chunk_edges,
+                    const std::function<IoResult(const Edge*, std::size_t)>&
+                        sink);
 
 /// Linear copying model (Kumar et al., FOCS 2000), the classic web-graph
 /// model: node i picks a random prototype and copies each of its

@@ -144,6 +144,39 @@ class Parser {
     return true;
   }
 
+  bool ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else return Fail("bad \\u escape");
+    }
+    *out = code;
+    return true;
+  }
+
+  static void AppendUtf8(std::string* out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
   bool ParseString(std::string* out) {
     if (!Consume('"')) return Fail("expected '\"'");
     out->clear();
@@ -163,20 +196,29 @@ class Parser {
           case 'r': out->push_back('\r'); break;
           case 't': out->push_back('\t'); break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+            // Full RFC 8259 \uXXXX decoding to UTF-8, including UTF-16
+            // surrogate pairs. Unpaired surrogates are rejected — the
+            // output must always be well-formed UTF-8.
             unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else return Fail("bad \\u escape");
+            if (!ParseHex4(&code)) return false;
+            if (code >= 0xDC00 && code <= 0xDFFF) {
+              return Fail("unpaired low surrogate");
             }
-            // The writer only emits \u00XX for control bytes; decode the
-            // Latin-1 range and reject anything wider (no UTF-16 pairs).
-            if (code > 0xFF) return Fail("unsupported \\u escape");
-            out->push_back(static_cast<char>(code));
+            std::uint32_t cp = code;
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Fail("unpaired high surrogate");
+              }
+              pos_ += 2;
+              unsigned low = 0;
+              if (!ParseHex4(&low)) return false;
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Fail("unpaired high surrogate");
+              }
+              cp = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            }
+            AppendUtf8(out, cp);
             break;
           }
           default:

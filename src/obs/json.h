@@ -120,8 +120,9 @@ struct JsonValue {
   }
 };
 
-/// Parses one complete JSON document (RFC 8259 subset: no \uXXXX escape
-/// decoding beyond ASCII passthrough of the writer's own output).
+/// Parses one complete JSON document (RFC 8259). \uXXXX escapes decode
+/// to UTF-8, including UTF-16 surrogate pairs; unpaired surrogates are
+/// rejected so string values are always well-formed UTF-8.
 /// Returns false and fills `error` (with byte offset) on malformed
 /// input; trailing non-whitespace after the document is an error.
 bool ParseJson(std::string_view text, JsonValue* out, std::string* error);

@@ -315,6 +315,73 @@ IoResult CheckCsrInvariants(const std::string& path, const PackView& view) {
 
 }  // namespace
 
+GpackLayout ComputeGpackLayout(std::uint64_t num_nodes,
+                               std::uint64_t num_edges) {
+  const std::uint64_t off_bytes = (num_nodes + 1) * sizeof(EdgeId);
+  const std::uint64_t nbr_bytes = num_edges * sizeof(NodeId);
+  GpackLayout layout;
+  std::uint64_t offset = AlignUp(
+      sizeof(GpackHeader) + 4 * sizeof(GpackSectionEntry), kSectionAlign);
+  layout.out_offsets = offset;
+  offset = AlignUp(offset + off_bytes, kSectionAlign);
+  layout.out_neighbors = offset;
+  offset = AlignUp(offset + nbr_bytes, kSectionAlign);
+  layout.in_offsets = offset;
+  offset = AlignUp(offset + off_bytes, kSectionAlign);
+  layout.in_neighbors = offset;
+  // Like WritePack, the file ends at the last payload byte — padding is
+  // only ever written ahead of a section.
+  layout.file_bytes = offset + nbr_bytes;
+  return layout;
+}
+
+std::string SerializeGpackHeader(std::uint64_t num_nodes,
+                                 std::uint64_t num_edges,
+                                 std::uint64_t fingerprint,
+                                 const std::uint32_t crcs[4]) {
+  const GpackLayout layout = ComputeGpackLayout(num_nodes, num_edges);
+  const std::uint64_t off_bytes = (num_nodes + 1) * sizeof(EdgeId);
+  const std::uint64_t nbr_bytes = num_edges * sizeof(NodeId);
+
+  GpackHeader header = {};
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.format_version = kGpackFormatVersion;
+  header.header_bytes = sizeof(GpackHeader);
+  header.flags = kFlagHasInCsr;
+  header.num_nodes = num_nodes;
+  header.num_edges = num_edges;
+  header.fingerprint = fingerprint;
+  header.section_count = 4;
+
+  std::vector<GpackSectionEntry> table(4);
+  const struct {
+    std::uint32_t id;
+    std::uint32_t item_bytes;
+    std::uint64_t offset;
+    std::uint64_t bytes;
+  } sections[4] = {
+      {kOutOffsets, sizeof(EdgeId), layout.out_offsets, off_bytes},
+      {kOutNeighbors, sizeof(NodeId), layout.out_neighbors, nbr_bytes},
+      {kInOffsets, sizeof(EdgeId), layout.in_offsets, off_bytes},
+      {kInNeighbors, sizeof(NodeId), layout.in_neighbors, nbr_bytes},
+  };
+  for (std::size_t i = 0; i < 4; ++i) {
+    table[i].id = sections[i].id;
+    table[i].item_bytes = sections[i].item_bytes;
+    table[i].offset = sections[i].offset;
+    table[i].bytes = sections[i].bytes;
+    table[i].crc32 = crcs[i];
+    table[i].reserved = 0;
+  }
+  header.header_crc = HeaderCrc(header, table);
+
+  std::string out(sizeof(GpackHeader) + 4 * sizeof(GpackSectionEntry), '\0');
+  std::memcpy(out.data(), &header, sizeof header);
+  std::memcpy(out.data() + sizeof header, table.data(),
+              4 * sizeof(GpackSectionEntry));
+  return out;
+}
+
 IoResult WritePack(const std::string& path, const Graph& graph) {
   GORDER_OBS_SPAN(span, "store.pack_write");
   const std::uint64_t n = graph.NumNodes();

@@ -56,6 +56,32 @@ struct GpackInfo {
   std::vector<GpackSectionInfo> sections;
 };
 
+/// Byte layout of a standard four-section pack, computed from (n, m)
+/// alone. The in-memory writer (WritePack) and the external-memory
+/// builder (src/extmem) both derive their file layout from this, so a
+/// pack built out-of-core is byte-identical to one written from an
+/// in-memory graph with the same CSR content.
+struct GpackLayout {
+  std::uint64_t out_offsets = 0;    // file offset of each section payload
+  std::uint64_t out_neighbors = 0;
+  std::uint64_t in_offsets = 0;
+  std::uint64_t in_neighbors = 0;
+  std::uint64_t file_bytes = 0;     // total file size (ends at the last
+                                    // payload byte, like WritePack)
+};
+GpackLayout ComputeGpackLayout(std::uint64_t num_nodes,
+                               std::uint64_t num_edges);
+
+/// Serialises the 64-byte header plus the four-entry section table for a
+/// standard pack — the first 192 bytes of the file. `crcs` are the
+/// payload CRC32s in section order (out_offsets, out_neighbors,
+/// in_offsets, in_neighbors). Everything between the returned prefix and
+/// the first payload (and between payloads) is zero padding.
+std::string SerializeGpackHeader(std::uint64_t num_nodes,
+                                 std::uint64_t num_edges,
+                                 std::uint64_t fingerprint,
+                                 const std::uint32_t crcs[4]);
+
 /// Writes `graph` as a gpack at `path` (atomically: staged to a
 /// temporary file in the same directory, then renamed). Buffered
 /// streaming — the CSR arrays are written in large chunks, never

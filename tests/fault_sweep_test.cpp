@@ -55,6 +55,10 @@ struct PipelineOutcome {
   bool copied_pack = false;
   bool saved_ordering = false, loaded_ordering = false;
   bool wrote_trace = false;
+  bool ext_packed = false;          // extmem build committed a pack
+  bool ext_ordered = false;         // semi-external ordering succeeded
+  std::uint64_t ext_fp = 0;         // fingerprint of the extmem pack
+  std::vector<NodeId> ext_perm;
   bool serve_started = false;       // daemon bound its socket
   bool serve_queried = false;       // ping+info+neighbors all answered
   bool serve_alive_after = false;   // fresh connection works at the end
@@ -141,7 +145,32 @@ PipelineOutcome RunPipeline(const std::string& dir) {
   out.wrote_trace = obs::WriteChromeTrace(dir + "/trace.json");
   if (!out.wrote_trace) out.errors.push_back("WriteChromeTrace failed");
 
-  // 8. Ordering-as-a-service daemon (src/serve): bind, serve a few
+  // 8. Out-of-core pipeline (src/extmem): stream the text edge list
+  // through the external sorter into a windowed-mmap pack build, then
+  // run a semi-external ordering over the mapped result. Tiny buffers
+  // and fan-in force run spills and compaction merges, so this drives
+  // every extmem.* failpoint. A fault may cost the pack (nothing at the
+  // final path) or the ordering — never debris or a partial file.
+  if (out.wrote_edgelist) {
+    const std::string ext_pack = dir + "/ext.gpack";
+    extmem::ExtmemOptions eopts;
+    eopts.mem_budget_bytes = 1ull << 20;
+    eopts.run_buffer_edges = 512;  // force several run spills
+    eopts.merge_fanin = 4;         // and compaction merge passes
+    extmem::ExtBuildStats stats;
+    out.ext_packed =
+        note(extmem::StreamEdgeListToPack(txt, ext_pack, eopts, &stats));
+    if (out.ext_packed) {
+      Graph g;
+      if (note(store::LoadPack(ext_pack, &g, store::LoadMode::kCopy))) {
+        out.ext_fp = store::GraphFingerprint(g);
+      }
+      out.ext_ordered = note(
+          extmem::SemiExternalOrder(ext_pack, method, Params(), &out.ext_perm));
+    }
+  }
+
+  // 9. Ordering-as-a-service daemon (src/serve): bind, serve a few
   // queries in-process, then prove the daemon outlives the fault. This
   // is what drives the net.* failpoints (listen/accept/connect/read/
   // write): one injected syscall failure may cost one request or one
@@ -263,6 +292,11 @@ void CheckArtifacts(const std::string& dir, const PipelineOutcome& baseline) {
         << "partial ordering artifact at final path";
     EXPECT_EQ(cached.perm, baseline.perm);
   }
+  const std::string ext_pack = dir + "/ext.gpack";
+  if (fs::exists(ext_pack)) {
+    IoResult r = store::VerifyPack(ext_pack);
+    EXPECT_TRUE(r.ok) << "partial extmem pack at final path: " << r.error;
+  }
   const std::string trace = dir + "/trace.json";
   if (fs::exists(trace)) {
     std::ifstream in(trace);
@@ -297,6 +331,15 @@ void CheckInvariants(const PipelineOutcome& out,
   }
   if (out.loaded_ordering) {
     EXPECT_EQ(out.loaded_perm, baseline.perm) << context;
+  }
+  // An extmem build that reported success must have produced the same
+  // graph the text loader read, and a successful semi-external run is
+  // bit-identical to the in-memory ordering.
+  if (out.ext_packed && out.ext_fp != 0) {
+    EXPECT_EQ(out.ext_fp, baseline.ext_fp) << context;
+  }
+  if (out.ext_ordered) {
+    EXPECT_EQ(out.ext_perm, baseline.perm) << context;
   }
   // A daemon that managed to bind must still be serving at the end of
   // the run, whatever single fault was injected along the way. Start()
@@ -353,6 +396,9 @@ TEST_F(FaultSweepTest, BaselineCoversEveryRegisteredFailpoint) {
   EXPECT_TRUE(baseline.copied_pack);
   EXPECT_TRUE(baseline.saved_ordering && baseline.loaded_ordering);
   EXPECT_TRUE(baseline.wrote_trace);
+  EXPECT_TRUE(baseline.ext_packed && baseline.ext_ordered);
+  EXPECT_EQ(baseline.ext_fp, baseline.roundtrip_fp);
+  EXPECT_EQ(baseline.ext_perm, baseline.perm);
   EXPECT_TRUE(baseline.serve_started && baseline.serve_queried &&
               baseline.serve_alive_after && baseline.admin_scraped);
   CheckArtifacts(root_ + "/baseline", baseline);
@@ -410,7 +456,11 @@ TEST_F(FaultSweepTest, OneFaultAtATimeDegradesCleanly) {
                            "graph.write_edgelist.write=enospc@2",
                            "util.atomic.sync=err@2",
                            "store.map.open=err@1+",
-                           "util.atomic.rename=err@1+"}) {
+                           "util.atomic.rename=err@1+",
+                           "extmem.run.write=short@2",
+                           "extmem.merge.read=err@3",
+                           "extmem.pack.write=enospc@2",
+                           "extmem.pack.sync=err@1+"}) {
     SCOPED_TRACE(spec);
     std::string error;
     ASSERT_TRUE(util::ArmFailpointsFromSpec(spec, &error)) << error;

@@ -412,6 +412,42 @@ TEST(JsonParseTest, RejectsMalformedDocuments) {
   EXPECT_FALSE(ParseJson(deep, &doc, &error));
 }
 
+TEST(JsonParseTest, DecodesUnicodeEscapesToUtf8) {
+  JsonValue doc;
+  std::string error;
+  // BMP code points: ASCII, 2-byte and 3-byte UTF-8, both hex cases.
+  ASSERT_TRUE(ParseJson("\"\\u0041\\u00e9\\u20AC\"", &doc, &error)) << error;
+  EXPECT_EQ(doc.str, "A\xC3\xA9\xE2\x82\xAC");  // A é €
+  // Control characters round-trip through the writer's \u00XX form.
+  ASSERT_TRUE(ParseJson("\"\\u0000\\u001f\"", &doc, &error)) << error;
+  EXPECT_EQ(doc.str, std::string("\x00\x1F", 2));
+  // Surrogate pair: U+1F600 (emoji, astral plane) -> 4-byte UTF-8.
+  ASSERT_TRUE(ParseJson("\"\\uD83D\\uDE00\"", &doc, &error)) << error;
+  EXPECT_EQ(doc.str, "\xF0\x9F\x98\x80");
+  // Highest pair: U+10FFFF.
+  ASSERT_TRUE(ParseJson("\"\\uDBFF\\uDFFF\"", &doc, &error)) << error;
+  EXPECT_EQ(doc.str, "\xF4\x8F\xBF\xBF");
+}
+
+TEST(JsonParseTest, RejectsBadUnicodeEscapes) {
+  JsonValue doc;
+  std::string error;
+  for (const char* bad : {
+           "\"\\u12\"",            // truncated hex
+           "\"\\u12G4\"",          // non-hex digit
+           "\"\\uD800\"",          // high surrogate, nothing after
+           "\"\\uD800x\"",         // high surrogate, no \u follow-up
+           "\"\\uD800\\n\"",       // high surrogate, wrong escape
+           "\"\\uD800\\u0041\"",   // high surrogate + non-surrogate
+           "\"\\uD800\\uD800\"",   // high + high
+           "\"\\uDC00\"",          // lone low surrogate
+           "\"\\uDFFF\\uDC00\"",   // low first
+       }) {
+    EXPECT_FALSE(ParseJson(bad, &doc, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
 TEST(ReqTraceRingTest, SnapshotReturnsNewestFirst) {
   ReqTraceRing ring;
   for (std::uint64_t i = 1; i <= 5; ++i) {

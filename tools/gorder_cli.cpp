@@ -16,8 +16,11 @@
 //   gorder_cli --cmd=pack    --dataset=pokec --store-dir=store
 //                            [--scale=0.25] [--seed=42]
 //              (generates the dataset into its canonical store pack; or
-//               --in=g.txt --out=g.gpack to pack an arbitrary graph)
-//   gorder_cli --cmd=info    --in=g.gpack   (header + section table)
+//               --in=g.txt --out=g.gpack to pack an arbitrary graph; or
+//               --rmat-scale=20 [--rmat-edge-factor=16] --out=g.gpack to
+//               pack a synthetic R-MAT stream)
+//   gorder_cli --cmd=info    --in=g.gpack   (header + section table +
+//                                            peak-memory estimates)
 //   gorder_cli --cmd=verify  --in=g.gpack   (full integrity check:
 //               checksums, CSR invariants, content fingerprint; exit 0
 //               iff the pack is intact)
@@ -33,6 +36,13 @@
 // pool used by graph build, relabel, edge-list parsing and the untraced
 // algorithm kernels (--cmd=algo); --threads=1 is fully serial and
 // produces identical output at any thread count.
+//
+// Out-of-core mode (DESIGN.md §18): --extmem [--mem-budget=<MB>] on
+// --cmd=pack builds the .gpack through the external sort/merge pipeline
+// (bounded RAM, disk-backed runs), and on --cmd=order runs the ordering
+// semi-externally over a mapped pack (vertex state in RAM, adjacency
+// paged from disk; bit-identical output). --cmd=order --extmem emits the
+// permutation via --map; relabeling stays an in-memory operation.
 //
 // Every command also accepts --quiet (silence stderr narration),
 // --json-out=<f> (machine-readable run report, written at exit) and
@@ -108,13 +118,92 @@ const gen::DatasetSpec* RequireDatasetSpec(const std::string& name) {
   return spec;
 }
 
-int CmdOrder(const Flags& flags) {
-  Graph g;
-  if (LoadGraph(flags.GetString("in", ""), &g) != 0) return 1;
+/// Shared --extmem knobs: --mem-budget=<MB> bounds the streaming buffers
+/// of the out-of-core pipeline (run buffer, merge reads, write window).
+extmem::ExtmemOptions ExtmemFromFlags(const Flags& flags) {
+  extmem::ExtmemOptions options;
+  options.mem_budget_bytes =
+      static_cast<std::uint64_t>(flags.GetInt("mem-budget", 256)) << 20;
+  options.scratch_dir = flags.GetString("scratch-dir", "");
+  return options;
+}
+
+void ReportExtBuild(const extmem::ExtBuildStats& s) {
+  GORDER_LOG_INFO(
+      "extmem build: %llu edges ingested -> %llu final, %llu runs "
+      "(%.1f MB scratch), %llu merge passes, %llu window remaps\n",
+      static_cast<unsigned long long>(s.edges_ingested),
+      static_cast<unsigned long long>(s.edges_final),
+      static_cast<unsigned long long>(s.runs_written),
+      static_cast<double>(s.run_bytes) / (1 << 20),
+      static_cast<unsigned long long>(s.merge_passes),
+      static_cast<unsigned long long>(s.window_remaps));
+}
+
+int WritePermMap(const std::string& map_path, const std::vector<NodeId>& perm) {
+  std::FILE* f = std::fopen(map_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", map_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "# old_id new_id\n");
+  for (NodeId v = 0; v < perm.size(); ++v) {
+    std::fprintf(f, "%u %u\n", v, perm[v]);
+  }
+  std::fclose(f);
+  return 0;
+}
+
+order::OrderingParams OrderingParamsFromFlags(const Flags& flags) {
   order::OrderingParams params;
   params.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   params.window = static_cast<NodeId>(flags.GetInt("window", 5));
   params.gorder_lazy_decrements = flags.GetBool("lazy", false);
+  return params;
+}
+
+/// Semi-external ordering: vertex state in RAM, adjacency paged from the
+/// mapped pack. Emits the permutation (--map); relabeling would pull the
+/// whole graph into memory, so it is deliberately not offered here.
+int CmdOrderExtmem(const Flags& flags) {
+  const std::string in = flags.GetString("in", "");
+  if (!EndsWith(in, ".gpack")) {
+    std::fprintf(stderr,
+                 "error: --cmd=order --extmem needs --in=<f.gpack> "
+                 "(build one with --cmd=pack --extmem)\n");
+    return 2;
+  }
+  const order::OrderingParams params = OrderingParamsFromFlags(flags);
+  const auto method =
+      order::MethodFromName(flags.GetString("method", "Gorder"));
+  Timer timer;
+  std::vector<NodeId> perm;
+  extmem::SemiExternalInfo info;
+  IoResult r = extmem::SemiExternalOrder(in, method, params, &perm, &info);
+  if (!r.ok) {
+    std::fprintf(stderr, "error: %s\n", r.error.c_str());
+    return 1;
+  }
+  GORDER_LOG_INFO(
+      "%s (semi-external): %.3fs, %.1f MB pack mapped%s, %d threads\n",
+      order::MethodName(method).c_str(), timer.Seconds(),
+      static_cast<double>(info.pack_bytes) / (1 << 20),
+      info.zero_copy ? " zero-copy" : "", NumThreads());
+  if (flags.Has("out")) {
+    std::fprintf(stderr,
+                 "note: --out ignored with --extmem (relabel is in-memory); "
+                 "the permutation goes to --map\n");
+  }
+  const std::string map_path = flags.GetString("map", "");
+  if (!map_path.empty()) return WritePermMap(map_path, perm);
+  return 0;
+}
+
+int CmdOrder(const Flags& flags) {
+  if (flags.GetBool("extmem", false)) return CmdOrderExtmem(flags);
+  Graph g;
+  if (LoadGraph(flags.GetString("in", ""), &g) != 0) return 1;
+  order::OrderingParams params = OrderingParamsFromFlags(flags);
   auto method = order::MethodFromName(flags.GetString("method", "Gorder"));
   const bool verbose = flags.GetBool("verbose", false);
   // Ordering and relabel wall times are reported separately: the total is
@@ -162,18 +251,7 @@ int CmdOrder(const Flags& flags) {
       order::MethodName(method).c_str(), order_s, relabel_s,
       order_s + relabel_s, NumThreads());
   std::string map_path = flags.GetString("map", "");
-  if (!map_path.empty()) {
-    std::FILE* f = std::fopen(map_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "error: cannot write %s\n", map_path.c_str());
-      return 1;
-    }
-    std::fprintf(f, "# old_id new_id\n");
-    for (NodeId v = 0; v < g.NumNodes(); ++v) {
-      std::fprintf(f, "%u %u\n", v, perm[v]);
-    }
-    std::fclose(f);
-  }
+  if (!map_path.empty() && WritePermMap(map_path, perm) != 0) return 1;
   return StoreGraph(flags.GetString("out", "out.txt"), h);
 }
 
@@ -228,10 +306,83 @@ int CmdGen(const Flags& flags) {
 ///       (or --out if given);
 ///   --in=<graph file> --out=<f.gpack>
 ///       packs an existing graph file.
+/// Packs a synthetic R-MAT stream. The same chunked generator feeds both
+/// paths — chunks into the ExtPackBuilder with --extmem, chunks into an
+/// in-memory Graph::Builder without — so the two modes produce identical
+/// packs and differ only in peak RAM (the basis of the memory-capped CI
+/// comparison).
+int PackRmatStream(const Flags& flags, const std::string& out) {
+  if (out.empty()) {
+    std::fprintf(stderr, "error: --rmat-scale needs --out=<f.gpack>\n");
+    return 2;
+  }
+  gen::RmatParams rp;
+  rp.scale = static_cast<int>(flags.GetInt("rmat-scale", 20));
+  rp.num_edges = static_cast<EdgeId>(flags.GetInt("rmat-edge-factor", 16))
+                 << rp.scale;
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const extmem::ExtmemOptions options = ExtmemFromFlags(flags);
+  // Chunk size is fixed by the generator contract (determinism depends on
+  // it), so both modes use the same value regardless of budget.
+  const std::size_t chunk_edges = 1u << 18;
+  const auto n = static_cast<NodeId>(1u << rp.scale);
+  IoResult r;
+  if (flags.GetBool("extmem", false)) {
+    extmem::ExtPackBuilder builder(options);
+    r = builder.Begin(out);
+    if (r.ok) {
+      builder.ReserveNodes(n);
+      r = gen::StreamRmat(rp, seed, chunk_edges,
+                          [&](const Edge* edges, std::size_t count) {
+                            return builder.AddBatch(edges, count);
+                          });
+    }
+    if (r.ok) r = builder.Finish();
+    if (r.ok) ReportExtBuild(builder.stats());
+  } else {
+    Graph::Builder b(n);
+    b.ReserveEdges(static_cast<std::size_t>(rp.num_edges));
+    r = gen::StreamRmat(rp, seed, chunk_edges,
+                        [&](const Edge* edges, std::size_t count) {
+                          for (std::size_t i = 0; i < count; ++i) {
+                            b.AddEdge(edges[i].src, edges[i].dst);
+                          }
+                          return IoResult::Ok();
+                        });
+    if (r.ok) r = store::WritePack(out, b.Build());
+  }
+  if (!r.ok) {
+    std::fprintf(stderr, "error: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", out.c_str());
+  return 0;
+}
+
 int CmdPack(const Flags& flags) {
   std::string in = flags.GetString("in", "");
   std::string out = flags.GetString("out", "");
   std::string dataset = flags.GetString("dataset", "");
+  if (flags.Has("rmat-scale")) return PackRmatStream(flags, out);
+  if (flags.GetBool("extmem", false)) {
+    if (in.empty() || out.empty() || EndsWith(in, ".gpack") ||
+        EndsWith(in, ".bin")) {
+      std::fprintf(stderr,
+                   "error: --cmd=pack --extmem streams a text edge list: "
+                   "--in=<g.txt> --out=<f.gpack> (or --rmat-scale=<N>)\n");
+      return 2;
+    }
+    extmem::ExtBuildStats stats;
+    IoResult r =
+        extmem::StreamEdgeListToPack(in, out, ExtmemFromFlags(flags), &stats);
+    if (!r.ok) {
+      std::fprintf(stderr, "error: %s\n", r.error.c_str());
+      return 1;
+    }
+    ReportExtBuild(stats);
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
   Graph g;
   if (!dataset.empty()) {
     if (RequireDatasetSpec(dataset) == nullptr) return 2;
@@ -296,6 +447,23 @@ int CmdInfo(const Flags& flags) {
                 static_cast<unsigned long long>(s.offset),
                 static_cast<unsigned long long>(s.bytes), s.crc32);
   }
+  // Peak-RSS estimates (dominant terms) so users can judge whether this
+  // graph needs --extmem on their machine.
+  const extmem::MemoryEstimates est = extmem::EstimateMemory(
+      info.num_nodes, info.num_edges, ExtmemFromFlags(flags));
+  auto mb = [](std::uint64_t b) { return static_cast<double>(b) / (1 << 20); };
+  std::printf("memory estimates (peak RSS, --mem-budget=%lld MB):\n",
+              static_cast<long long>(flags.GetInt("mem-budget", 256)));
+  std::printf("  mmap load (address space):   %10.1f MB\n",
+              mb(est.pack_file_bytes));
+  std::printf("  in-memory load (copy):       %10.1f MB\n",
+              mb(est.copy_load_bytes));
+  std::printf("  in-memory build (FromEdges): %10.1f MB\n",
+              mb(est.inmem_build_peak_bytes));
+  std::printf("  extmem build (--extmem):     %10.1f MB\n",
+              mb(est.extmem_build_bytes));
+  std::printf("  semi-external order state:   %10.1f MB\n",
+              mb(est.gorder_state_bytes));
   return 0;
 }
 

@@ -11,6 +11,7 @@
 #include "util/failpoint.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -48,9 +49,49 @@ inline void SetActiveStore(const std::string& dir) {
   ActiveStoreSlot() = new store::Store(dir);  // lives for the process
 }
 
+/// Deterministic latency-bound calibration kernel: one Sattolo cycle
+/// over 2 MiB of indices (out-sizes L2 on anything this repo targets),
+/// chased for a fixed step count. Best-of-three wall time is the
+/// machine-speed unit recorded in every perf snapshot;
+/// tools/compare_bench.py compares calibration-normalised seconds so a
+/// slower CI host does not read as a regression (and a faster one does
+/// not mask a real one).
+inline double CalibrationSeconds() {
+  const std::uint32_t n = 1u << 19;
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  Rng rng(12345);
+  for (std::uint32_t i = n - 1; i > 0; --i) {
+    std::uint32_t j = static_cast<std::uint32_t>(rng.Uniform(i));
+    std::swap(order[i], order[j]);
+  }
+  std::vector<std::uint32_t> next(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    next[order[i]] = order[(i + 1 == n) ? 0 : i + 1];
+  }
+  double best = 1e100;
+  std::uint32_t sink = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::uint32_t cursor = order[0];
+    Timer timer;
+    for (std::uint32_t step = 0; step < (1u << 21); ++step) {
+      cursor = next[cursor];
+    }
+    best = std::min(best, timer.Seconds());
+    sink ^= cursor;
+  }
+  // Defeat dead-code elimination of the chase loop.
+  if (sink == 0xdeadbeef) std::fprintf(stderr, "calibration sink\n");
+  return best;
+}
+
 /// Options shared by all paper-reproduction binaries.
 ///   --scale=<f>      multiplies every dataset's node/edge budget
-///   --datasets=a,b   comma-separated subset (default: all nine)
+///   --tier=std|huge  dataset registry tier: "std" (default) is the nine
+///                    in-memory paper stand-ins; "huge" switches
+///                    --datasets validation and the default list to the
+///                    chunked-streaming registry (gen::HugeDatasets)
+///   --datasets=a,b   comma-separated subset (default: the whole tier)
 ///   --repeats=<n>    timing repetitions (median reported)
 ///   --csv            machine-readable output
 ///   --seed=<s>       RNG seed for generation and randomised orderings
@@ -74,6 +115,7 @@ inline void SetActiveStore(const std::string& dir) {
 ///   --help           print this option summary and exit
 struct BenchOptions {
   double scale = 1.0;
+  gen::DatasetTier tier = gen::DatasetTier::kStandard;
   std::vector<std::string> datasets;
   int repeats = 1;
   bool csv = false;
@@ -90,7 +132,9 @@ struct BenchOptions {
         "\n"
         "Options shared by all paper-reproduction binaries:\n"
         "  --scale=<f>      multiplies every dataset's node/edge budget\n"
-        "  --datasets=a,b   comma-separated subset (default: all nine)\n"
+        "  --tier=std|huge  dataset registry tier (huge = the chunked\n"
+        "                   streaming registry, stream-only datasets)\n"
+        "  --datasets=a,b   comma-separated subset (default: whole tier)\n"
         "  --repeats=<n>    timing repetitions (median reported)\n"
         "  --csv            machine-readable output\n"
         "  --seed=<s>       RNG seed for generation and randomised "
@@ -136,9 +180,20 @@ struct BenchOptions {
     opt.store_dir = flags.GetString("store-dir", "");
     if (!opt.store_dir.empty()) SetActiveStore(opt.store_dir);
     ArmFailpointsFlag(flags.GetString("failpoints", ""));
+    const std::string tier_name = flags.GetString("tier", "std");
+    if (tier_name != "std" && tier_name != "huge") {
+      std::fprintf(stderr, "error: --tier must be std or huge (got '%s')\n",
+                   tier_name.c_str());
+      std::exit(2);
+    }
+    opt.tier = tier_name == "huge" ? gen::DatasetTier::kHuge
+                                   : gen::DatasetTier::kStandard;
+    const auto& registry = opt.tier == gen::DatasetTier::kHuge
+                               ? gen::HugeDatasets()
+                               : gen::AllDatasets();
     std::string names = flags.GetString("datasets", "");
     if (names.empty()) {
-      for (const auto& spec : gen::AllDatasets()) {
+      for (const auto& spec : registry) {
         opt.datasets.push_back(spec.name);
       }
     } else {
@@ -152,7 +207,7 @@ struct BenchOptions {
         pos = comma == std::string::npos ? comma : comma + 1;
       }
       std::vector<std::string> valid;
-      for (const auto& spec : gen::AllDatasets()) valid.push_back(spec.name);
+      for (const auto& spec : registry) valid.push_back(spec.name);
       for (const auto& name : opt.datasets) {
         if (std::find(valid.begin(), valid.end(), name) != valid.end()) {
           continue;

@@ -57,39 +57,6 @@ std::uint64_t PermFingerprint(const std::vector<NodeId>& perm) {
   return h;
 }
 
-// Deterministic latency-bound calibration kernel: one Sattolo cycle over
-// 2 MiB of indices (out-sizes L2 on anything this repo targets), chased
-// for a fixed step count. Best-of-three wall time is the machine-speed
-// unit used to normalise trajectory entries across hosts.
-double CalibrationSeconds() {
-  const std::uint32_t n = 1u << 19;
-  std::vector<std::uint32_t> order(n);
-  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
-  Rng rng(12345);
-  for (std::uint32_t i = n - 1; i > 0; --i) {
-    std::uint32_t j = static_cast<std::uint32_t>(rng.Uniform(i));
-    std::swap(order[i], order[j]);
-  }
-  std::vector<std::uint32_t> next(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    next[order[i]] = order[(i + 1 == n) ? 0 : i + 1];
-  }
-  double best = 1e100;
-  std::uint32_t sink = 0;
-  for (int rep = 0; rep < 3; ++rep) {
-    std::uint32_t cursor = order[0];
-    Timer timer;
-    for (std::uint32_t step = 0; step < (1u << 21); ++step) {
-      cursor = next[cursor];
-    }
-    best = std::min(best, timer.Seconds());
-    sink ^= cursor;
-  }
-  // Defeat dead-code elimination of the chase loop.
-  if (sink == 0xdeadbeef) std::fprintf(stderr, "calibration sink\n");
-  return best;
-}
-
 struct RunResult {
   std::string dataset;
   std::string method;
@@ -203,7 +170,7 @@ int main(int argc, char** argv) {
       label.c_str());
 
   GORDER_LOG_INFO("calibrating machine speed...\n");
-  const double calibration = CalibrationSeconds();
+  const double calibration = bench::CalibrationSeconds();
   GORDER_LOG_INFO("calibration kernel: %.4fs\n", calibration);
 
   TablePrinter table({"Dataset", "Method", "Median s", "Min s", "MEdges/s",

@@ -260,6 +260,23 @@ IoResult StreamEdgeListToPack(const std::string& edge_path,
   return IoResult::Ok();
 }
 
+IoResult BuildPackFromEdgeStream(const EdgeStreamFn& stream,
+                                 NodeId reserve_nodes,
+                                 const std::string& pack_path,
+                                 const ExtmemOptions& options,
+                                 ExtBuildStats* stats) {
+  ExtPackBuilder builder(options);
+  if (IoResult r = builder.Begin(pack_path); !r.ok) return r;
+  if (reserve_nodes > 0) builder.ReserveNodes(reserve_nodes);
+  IoResult r = stream([&](const Edge* edges, std::size_t count) {
+    return builder.AddBatch(edges, count);
+  });
+  if (!r.ok) return r;
+  if (r = builder.Finish(); !r.ok) return r;
+  if (stats != nullptr) *stats = builder.stats();
+  return IoResult::Ok();
+}
+
 MemoryEstimates EstimateMemory(std::uint64_t num_nodes,
                                std::uint64_t num_edges,
                                const ExtmemOptions& options) {

@@ -26,6 +26,7 @@
 /// the differential test asserts file-for-file.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,24 @@ IoResult StreamEdgeListToPack(const std::string& edge_path,
                               const std::string& pack_path,
                               const ExtmemOptions& options = {},
                               ExtBuildStats* stats = nullptr);
+
+/// An edge-producing stream: invoked once with a sink, pushes every
+/// edge chunk through it, propagating the first sink error. The chunked
+/// generators (gen/chunked.h) curry into this shape:
+///   [&](const auto& sink) { return gen::StreamRmat(p, seed, opt, sink); }
+using EdgeStreamFn = std::function<IoResult(
+    const std::function<IoResult(const Edge*, std::size_t)>&)>;
+
+/// Sink adapter from any edge stream to a finished pack: begins an
+/// external build, reserves `reserve_nodes`, feeds every chunk the
+/// stream produces into the builder, then merges and commits. A
+/// 10^9-edge generator output packs to .gpack through this without a
+/// global edge list ever existing in RAM.
+IoResult BuildPackFromEdgeStream(const EdgeStreamFn& stream,
+                                 NodeId reserve_nodes,
+                                 const std::string& pack_path,
+                                 const ExtmemOptions& options = {},
+                                 ExtBuildStats* stats = nullptr);
 
 /// Peak-memory estimates for a graph of the given size, used by
 /// `gorder_cli --cmd=info` to tell users when `--extmem` is warranted.

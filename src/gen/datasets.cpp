@@ -44,6 +44,24 @@ const std::vector<DatasetSpec>& AllDatasets() {
   return *kSpecs;
 }
 
+const std::vector<DatasetSpec>& HugeDatasets() {
+  // 10^9 edge attempts over 2^26 nodes at scale 1.0 (avg degree ~16,
+  // the regime of the BOBA / lightweight-reordering papers). All three
+  // are chunked-streaming generators (gen/chunked.h): they never exist
+  // as an in-RAM edge list, only as a deterministic edge stream that
+  // feeds extmem::ExtPackBuilder. crawl_jump_prob is unused — huge
+  // datasets keep the generator's natural id space.
+  static const std::vector<DatasetSpec>* kSpecs = new std::vector<DatasetSpec>{
+      {"rmat-huge", "social", "rmat-stream", 0.0, 0.0, 1u << 26,
+       EdgeId{1} << 30, 0.0, DatasetTier::kHuge},
+      {"er-huge", "uniform", "er-stream", 0.0, 0.0, 1u << 26,
+       EdgeId{1} << 30, 0.0, DatasetTier::kHuge},
+      {"ba-huge", "social", "ba-stream", 0.0, 0.0, 1u << 26,
+       EdgeId{1} << 30, 0.0, DatasetTier::kHuge},
+  };
+  return *kSpecs;
+}
+
 const DatasetSpec& GetDatasetSpec(const std::string& name) {
   const DatasetSpec* spec = FindDatasetSpec(name);
   GORDER_CHECK(spec != nullptr && "unknown dataset name");
@@ -54,12 +72,19 @@ const DatasetSpec* FindDatasetSpec(const std::string& name) {
   for (const DatasetSpec& spec : AllDatasets()) {
     if (spec.name == name) return &spec;
   }
+  for (const DatasetSpec& spec : HugeDatasets()) {
+    if (spec.name == name) return &spec;
+  }
   return nullptr;
 }
 
-std::string DatasetNames() {
+std::string DatasetNames() { return DatasetNames(DatasetTier::kStandard); }
+
+std::string DatasetNames(DatasetTier tier) {
   std::string all;
-  for (const DatasetSpec& spec : AllDatasets()) {
+  const auto& specs =
+      tier == DatasetTier::kHuge ? HugeDatasets() : AllDatasets();
+  for (const DatasetSpec& spec : specs) {
     if (!all.empty()) all += ", ";
     all += spec.name;
   }
@@ -68,6 +93,9 @@ std::string DatasetNames() {
 
 Graph MakeDataset(const std::string& name, double scale, std::uint64_t seed) {
   const DatasetSpec& spec = GetDatasetSpec(name);
+  GORDER_CHECK(spec.tier == DatasetTier::kStandard &&
+               "huge-tier datasets are stream-only: use StreamDataset / "
+               "gorder_cli --cmd=gen --tier=huge --out=<f.gpack>");
   GORDER_CHECK(scale > 0);
   Rng rng(seed ^ HashName(name));
   const auto n = static_cast<NodeId>(
@@ -100,6 +128,40 @@ Graph MakeDataset(const std::string& name, double scale, std::uint64_t seed) {
   std::vector<NodeId> crawl =
       MakeCrawlOrderPermutation(g, spec.crawl_jump_prob, rng);
   return g.Relabel(crawl);
+}
+
+IoResult StreamDataset(const std::string& name, double scale,
+                       std::uint64_t seed, const ChunkedOptions& options,
+                       const EdgeSink& sink, NodeId* num_nodes) {
+  const DatasetSpec& spec = GetDatasetSpec(name);
+  GORDER_CHECK(spec.tier == DatasetTier::kHuge &&
+               "StreamDataset serves huge-tier specs; standard datasets "
+               "generate in memory via MakeDataset");
+  GORDER_CHECK(scale > 0);
+  const std::uint64_t stream_seed = seed ^ HashName(name);
+  const auto n = static_cast<NodeId>(
+      std::max(64.0, static_cast<double>(spec.sim_nodes) * scale));
+  const auto m = static_cast<EdgeId>(
+      std::max(128.0, static_cast<double>(spec.sim_edges) * scale));
+
+  if (spec.generator == "rmat-stream") {
+    RmatParams p;
+    p.scale = std::max(6, static_cast<int>(std::lround(std::log2(n))));
+    p.num_edges = m;
+    if (num_nodes != nullptr) *num_nodes = NodeId{1} << p.scale;
+    return StreamRmat(p, stream_seed, options, sink);
+  }
+  if (spec.generator == "er-stream") {
+    if (num_nodes != nullptr) *num_nodes = n;
+    return StreamErdosRenyi(n, m, stream_seed, options, sink);
+  }
+  if (spec.generator == "ba-stream") {
+    const auto out_k = std::max<NodeId>(1, static_cast<NodeId>(m / n));
+    if (num_nodes != nullptr) *num_nodes = n;
+    return StreamBarabasiAlbert(n, out_k, stream_seed, options, sink);
+  }
+  GORDER_CHECK(false && "unknown streaming generator kind");
+  return IoResult::Error("unreachable");
 }
 
 }  // namespace gorder::gen

@@ -19,17 +19,49 @@ std::uint64_t PackEdge(NodeId src, NodeId dst) {
 
 Graph ErdosRenyi(NodeId n, EdgeId m, Rng& rng) {
   GORDER_CHECK(n >= 2);
-  const double max_edges = static_cast<double>(n) * (n - 1);
-  GORDER_CHECK(static_cast<double>(m) <= max_edges);
-  std::unordered_set<std::uint64_t> seen;
-  seen.reserve(m * 2);
+  // Exact integer feasibility (n <= 2^32-1, so n*(n-1) fits in 64
+  // bits): the old double comparison was lossy above 2^53 and let
+  // near-infeasible m reach the allocation and rejection loop below.
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1);
+  GORDER_CHECK(m <= max_edges && "ErdosRenyi: m exceeds n*(n-1)");
   Graph::Builder builder(n);
   builder.ReserveEdges(m);
-  while (seen.size() < m) {
-    NodeId src = static_cast<NodeId>(rng.Uniform(n));
-    NodeId dst = static_cast<NodeId>(rng.Uniform(n));
-    if (src == dst) continue;
-    if (seen.insert(PackEdge(src, dst)).second) builder.AddEdge(src, dst);
+  if (m <= max_edges / 2) {
+    // Sparse regime: rejection-sample (src, dst) pairs into a dedup
+    // set. With m at most half the edge space every draw hits a fresh
+    // edge with probability >= 1/2, so expected draws are O(m).
+    std::unordered_set<std::uint64_t> seen;
+    // Bounded reserve: feasible m can still be huge, and the table
+    // grows on demand anyway — never pre-commit multi-GB in one call
+    // (the ReadBinary bug class from PR 5).
+    seen.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(m * 2, std::uint64_t{1} << 24)));
+    while (seen.size() < m) {
+      NodeId src = static_cast<NodeId>(rng.Uniform(n));
+      NodeId dst = static_cast<NodeId>(rng.Uniform(n));
+      if (src == dst) continue;
+      if (seen.insert(PackEdge(src, dst)).second) builder.AddEdge(src, dst);
+    }
+  } else {
+    // Dense regime: rejection sampling would coupon-collector-grind
+    // near the density ceiling, so sample the complement instead —
+    // choose the max_edges - m *holes* (fewer than half the space, so
+    // the same O(holes) rejection bound applies) and emit every other
+    // index of the self-loop-free edge enumeration
+    //   idx -> src = idx / (n-1), dst = r + (r >= src), r = idx % (n-1).
+    const std::uint64_t holes = max_edges - m;
+    std::unordered_set<std::uint64_t> excluded;
+    excluded.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(holes * 2, std::uint64_t{1} << 24)));
+    while (excluded.size() < holes) excluded.insert(rng.Uniform(max_edges));
+    for (std::uint64_t idx = 0; idx < max_edges; ++idx) {
+      if (excluded.count(idx)) continue;
+      const NodeId src = static_cast<NodeId>(idx / (n - 1));
+      const std::uint64_t r = idx % (n - 1);
+      const NodeId dst = static_cast<NodeId>(r + (r >= src ? 1 : 0));
+      builder.AddEdge(src, dst);
+    }
   }
   return builder.Build();
 }
@@ -50,10 +82,24 @@ Graph BarabasiAlbert(NodeId n, NodeId out_k, Rng& rng) {
     targets.push_back(v);
     targets.push_back(v);  // extra mass for the core
   }
+  // Per-source dedup scratch: a node must not emit two parallel edges
+  // in one round, or its realised out-degree silently drops when the
+  // builder dedups.
+  std::vector<NodeId> round;
+  round.reserve(out_k);
   for (NodeId v = out_k + 1; v < n; ++v) {
+    round.clear();
     for (NodeId e = 0; e < out_k; ++e) {
-      NodeId dst = targets[rng.Uniform(targets.size())];
-      if (dst == v) dst = static_cast<NodeId>(rng.Uniform(v));
+      // Re-sample from the attachment mass until the target is neither
+      // v nor a repeat of this round: a uniform fallback here would
+      // bypass preferential attachment. Terminates with probability 1 —
+      // the seed core alone provides out_k + 1 distinct candidates.
+      NodeId dst;
+      do {
+        dst = targets[rng.Uniform(targets.size())];
+      } while (dst == v ||
+               std::find(round.begin(), round.end(), dst) != round.end());
+      round.push_back(dst);
       builder.AddEdge(v, dst);
       targets.push_back(dst);
     }
@@ -62,11 +108,8 @@ Graph BarabasiAlbert(NodeId n, NodeId out_k, Rng& rng) {
   return builder.Build();
 }
 
-namespace {
+namespace internal {
 
-/// One R-MAT edge sample: recursive quadrant descent with multiplicative
-/// noise (+-10%) per level, which avoids the degree staircase artefact
-/// of noiseless R-MAT. Shared by the in-memory and chunked generators.
 Edge SampleRmatEdge(const RmatParams& params, double d, Rng& rng) {
   NodeId src = 0, dst = 0;
   for (int level = 0; level < params.scale; ++level) {
@@ -92,7 +135,7 @@ Edge SampleRmatEdge(const RmatParams& params, double d, Rng& rng) {
   return {src, dst};
 }
 
-}  // namespace
+}  // namespace internal
 
 Graph Rmat(const RmatParams& params, Rng& rng) {
   GORDER_CHECK(params.scale >= 1 && params.scale < 31);
@@ -102,44 +145,10 @@ Graph Rmat(const RmatParams& params, Rng& rng) {
   Graph::Builder builder(n);
   builder.ReserveEdges(params.num_edges);
   for (EdgeId e = 0; e < params.num_edges; ++e) {
-    const Edge edge = SampleRmatEdge(params, d, rng);
+    const Edge edge = internal::SampleRmatEdge(params, d, rng);
     if (edge.src != edge.dst) builder.AddEdge(edge.src, edge.dst);
   }
   return builder.Build();
-}
-
-IoResult StreamRmat(const RmatParams& params, std::uint64_t seed,
-                    std::size_t chunk_edges,
-                    const std::function<IoResult(const Edge*, std::size_t)>&
-                        sink) {
-  GORDER_CHECK(params.scale >= 1 && params.scale < 31);
-  GORDER_CHECK(chunk_edges > 0);
-  const double d = 1.0 - params.a - params.b - params.c;
-  GORDER_CHECK(d > 0.0);
-  std::vector<Edge> chunk;
-  chunk.reserve(std::min<std::size_t>(chunk_edges, 1u << 20));
-  EdgeId remaining = params.num_edges;
-  std::uint64_t chunk_index = 0;
-  while (remaining > 0) {
-    const std::size_t want = static_cast<std::size_t>(
-        std::min<EdgeId>(remaining, chunk_edges));
-    // Communication-free chunk seeding: each chunk's generator depends
-    // only on (seed, chunk_index), so chunks could be produced in any
-    // order or in parallel with the same result.
-    SplitMix64 sm(seed ^ (0x9E3779B97F4A7C15ULL * (chunk_index + 1)));
-    Rng rng(sm.Next());
-    chunk.clear();
-    for (std::size_t e = 0; e < want; ++e) {
-      const Edge edge = SampleRmatEdge(params, d, rng);
-      if (edge.src != edge.dst) chunk.push_back(edge);
-    }
-    if (!chunk.empty()) {
-      if (IoResult r = sink(chunk.data(), chunk.size()); !r.ok) return r;
-    }
-    remaining -= want;
-    ++chunk_index;
-  }
-  return IoResult::Ok();
 }
 
 Graph CopyingModel(NodeId n, NodeId out_k, double copy_prob, Rng& rng) {
@@ -305,7 +314,9 @@ Graph PlantedPartition(const PlantedPartitionParams& params, Rng& rng) {
   // caller decides the exposed ordering (see MakeCrawlOrder / datasets).
   const EdgeId m = static_cast<EdgeId>(params.avg_degree * n);
   std::unordered_set<std::uint64_t> seen;
-  seen.reserve(m * 2);
+  // Bounded like ErdosRenyi's: grow on demand past 2^24 buckets.
+  seen.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(m * 2, std::uint64_t{1} << 24)));
   Graph::Builder builder(n);
   builder.ReserveEdges(m);
   EdgeId added = 0;

@@ -3,6 +3,7 @@
 
 #include <functional>
 
+#include "gen/chunked.h"  // chunked/streaming generators (StreamRmat & co.)
 #include "graph/graph.h"
 #include "util/io_result.h"
 #include "util/rng.h"
@@ -11,13 +12,21 @@ namespace gorder::gen {
 
 /// G(n, m): m distinct directed edges sampled uniformly. Baseline model
 /// with no community structure or degree skew; used in tests and as a
-/// worst case for locality orderings.
+/// worst case for locality orderings. Rejection-sampled with a global
+/// dedup set, so it is exact but serial and in-memory — requests denser
+/// than half the edge space are rejected up front (the rejection loop
+/// degenerates near the density ceiling; stream the complement or use
+/// StreamErdosRenyi instead). For 10^8+ edges use StreamErdosRenyi
+/// (chunked.h).
 Graph ErdosRenyi(NodeId n, EdgeId m, Rng& rng);
 
 /// Directed preferential attachment (Barabasi-Albert flavour): each new
 /// node emits `out_k` edges whose targets are chosen proportionally to
-/// in-degree + 1. Produces the skewed in-degree distribution typical of
-/// social graphs.
+/// in-degree + 1, distinct per source (a node never emits two parallel
+/// edges in one round, and self-attachment re-samples from the
+/// attachment mass, preserving preferential attachment). Produces the
+/// skewed in-degree distribution typical of social graphs. Serial; for
+/// 10^8+ edges use StreamBarabasiAlbert (chunked.h).
 Graph BarabasiAlbert(NodeId n, NodeId out_k, Rng& rng);
 
 /// R-MAT / Kronecker generator (Chakrabarti et al., SDM 2004): samples
@@ -31,18 +40,17 @@ struct RmatParams {
 };
 Graph Rmat(const RmatParams& params, Rng& rng);
 
-/// Chunked R-MAT for the out-of-core pipeline: samples the same model as
-/// Rmat but emits edges in chunks of `chunk_edges` through `sink`
-/// (self-loop attempts are skipped, like Rmat), never materialising the
-/// edge list. Each chunk draws from its own PRNG seeded from
-/// (seed, chunk index) — KaGen-style communication-free chunking — so
-/// the output is deterministic in (params, seed, chunk_edges) and RAM
-/// stays O(chunk_edges) however many edges are requested. Stops at the
-/// first sink error and propagates it.
-IoResult StreamRmat(const RmatParams& params, std::uint64_t seed,
-                    std::size_t chunk_edges,
-                    const std::function<IoResult(const Edge*, std::size_t)>&
-                        sink);
+// StreamRmat and the other chunked/streaming generators live in
+// gen/chunked.h (included above): communication-free per-chunk seeding,
+// parallel on the shared pool, bit-identical at any thread count.
+
+namespace internal {
+/// One R-MAT edge sample: recursive quadrant descent with
+/// multiplicative noise (+-10%) per level, which avoids the degree
+/// staircase artefact of noiseless R-MAT. `d = 1 - a - b - c`. Shared
+/// by the in-memory and chunked generators.
+Edge SampleRmatEdge(const RmatParams& params, double d, Rng& rng);
+}  // namespace internal
 
 /// Linear copying model (Kumar et al., FOCS 2000), the classic web-graph
 /// model: node i picks a random prototype and copies each of its

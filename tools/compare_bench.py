@@ -1,21 +1,28 @@
 #!/usr/bin/env python3
-"""Compares or merges gorder-bench-ordering perf snapshots.
+"""Compares or merges gorder perf snapshots.
 
 Stdlib-only so it runs anywhere python3 exists (CI perf-smoke job).
 
-The trajectory file (repo-root BENCH_ordering.json) and the single-entry
-snapshots that bench/perf_ordering.cpp writes via --bench-json share one
-schema: {"schema": "gorder-bench-ordering", "schema_version": 1,
-"entries": [...]}. Every entry carries the wall time of a fixed
-pointer-chase calibration kernel; comparisons are made on
-calibration-normalised seconds (median / calibration), so a slower CI
-host does not read as a regression and a faster one does not mask one.
+Two trajectory families share one document structure and this one tool:
+the ordering trajectory (repo-root BENCH_ordering.json, schema
+"gorder-bench-ordering", written by bench/perf_ordering.cpp) and the
+generation trajectory (repo-root BENCH_gen.json, schema
+"gorder-bench-gen", written by bench/perf_gen.cpp). A document is
+{"schema": <name>, "schema_version": 1, "entries": [...]}; snapshot and
+baseline must carry the *same* schema — the tool never compares
+generation times against ordering times. Every entry carries the wall
+time of a fixed pointer-chase calibration kernel; comparisons are made
+on calibration-normalised seconds (median / calibration), so a slower
+CI host does not read as a regression and a faster one does not mask
+one.
 
 Compare mode (default):
   tools/compare_bench.py SNAPSHOT.json --baseline=BENCH_ordering.json \
       [--tolerance=0.25] [--score-tolerance=0.001]
 
-  Runs are matched on (dataset, method, scale, seed, window, lazy); the
+  Runs are matched on (dataset, method, scale, seed, window, lazy,
+  threads); ordering runs carry no "threads" field, which matches on
+  both sides as absent. The
   latest baseline entry containing a matching run wins. Exit 1 if any
   matched run's normalised time regresses by more than --tolerance
   (fraction, default 25%) or its locality score drifts by more than
@@ -38,10 +45,11 @@ import argparse
 import json
 import sys
 
-SCHEMA_NAME = "gorder-bench-ordering"
+SCHEMA_NAMES = ("gorder-bench-ordering", "gorder-bench-gen")
 SCHEMA_VERSION = 1
 
-MATCH_KEYS = ("dataset", "method", "scale", "seed", "window", "lazy")
+MATCH_KEYS = ("dataset", "method", "scale", "seed", "window", "lazy",
+              "threads")
 
 
 def fail(msg):
@@ -60,8 +68,9 @@ def load(path, role="snapshot"):
         fail(f"{path} does not exist")
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{path}: {e}")
-    if doc.get("schema") != SCHEMA_NAME:
-        fail(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA_NAME!r}")
+    if doc.get("schema") not in SCHEMA_NAMES:
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             f"want one of {SCHEMA_NAMES}")
     if doc.get("schema_version") != SCHEMA_VERSION:
         fail(f"{path}: schema_version {doc.get('schema_version')!r}, "
              f"want {SCHEMA_VERSION}")
@@ -84,6 +93,9 @@ def latest_baseline_runs(baseline_doc):
 
 
 def compare(snapshot, baseline, tolerance, score_tolerance, min_seconds):
+    if snapshot.get("schema") != baseline.get("schema"):
+        fail(f"schema mismatch: snapshot is {snapshot.get('schema')!r}, "
+             f"baseline is {baseline.get('schema')!r}")
     base_runs = latest_baseline_runs(baseline)
     if not base_runs:
         fail("baseline holds no runs (empty trajectory) — record one "
@@ -151,13 +163,15 @@ def compare(snapshot, baseline, tolerance, score_tolerance, min_seconds):
 
 
 def merge(snapshot, into_path):
+    schema = snapshot["schema"]
     try:
         with open(into_path, "r", encoding="utf-8") as f:
             doc = json.load(f)
-        if doc.get("schema") != SCHEMA_NAME:
-            fail(f"{into_path}: schema is {doc.get('schema')!r}")
+        if doc.get("schema") != schema:
+            fail(f"{into_path}: schema is {doc.get('schema')!r}, "
+                 f"snapshot is {schema!r} — wrong trajectory file")
     except FileNotFoundError:
-        doc = {"schema": SCHEMA_NAME, "schema_version": SCHEMA_VERSION,
+        doc = {"schema": schema, "schema_version": SCHEMA_VERSION,
                "entries": []}
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{into_path}: {e}")

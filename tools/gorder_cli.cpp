@@ -9,6 +9,10 @@
 //   gorder_cli --cmd=stats   --in=g.txt
 //   gorder_cli --cmd=score   --in=g.txt [--window=5]
 //   gorder_cli --cmd=gen     --dataset=flickr --scale=0.5 --out=g.txt
+//   gorder_cli --cmd=gen     --tier=huge --dataset=rmat-huge --scale=0.125
+//              --out=g.gpack [--chunk-edges=N] [--mem-budget=MB]
+//              (chunk-parallel streaming generation straight into a pack;
+//               huge-tier datasets never exist as an in-RAM edge list)
 //   gorder_cli --cmd=convert --in=g.txt --out=g.bin      (text <-> binary
 //                                                         by extension)
 //   gorder_cli --cmd=algo    --in=g.txt --algo=pr|bfs|sp|wcc|tc
@@ -106,16 +110,47 @@ int StoreGraph(const std::string& path, const Graph& g) {
 }
 
 /// Validated dataset lookup for user-supplied --dataset flags: prints
-/// the registry on a miss and exits 2 (usage error) instead of aborting.
-const gen::DatasetSpec* RequireDatasetSpec(const std::string& name) {
+/// the registry on a miss and returns nullptr (callers exit 2, usage
+/// error) instead of aborting. Huge-tier names resolve only under an
+/// explicit --tier=huge — a typo must not kick off a 10^9-edge stream.
+const gen::DatasetSpec* RequireDatasetSpec(const Flags& flags,
+                                           const std::string& name) {
+  const std::string tier = flags.GetString("tier", "std");
+  if (tier != "std" && tier != "huge") {
+    std::fprintf(stderr, "error: --tier must be std or huge (got '%s')\n",
+                 tier.c_str());
+    return nullptr;
+  }
+  const bool huge = tier == "huge";
   const gen::DatasetSpec* spec = gen::FindDatasetSpec(name);
   if (spec == nullptr) {
     std::fprintf(stderr,
                  "error: unknown dataset '%s'\n"
-                 "valid names: %s\n",
-                 name.c_str(), gen::DatasetNames().c_str());
+                 "valid names: %s\n"
+                 "huge tier (--tier=huge): %s\n",
+                 name.c_str(), gen::DatasetNames().c_str(),
+                 gen::DatasetNames(gen::DatasetTier::kHuge).c_str());
+    return nullptr;
+  }
+  if (spec->tier == gen::DatasetTier::kHuge && !huge) {
+    std::fprintf(stderr,
+                 "error: '%s' is a huge-tier streaming dataset; opt in "
+                 "with --tier=huge (and --out=<f.gpack>)\n",
+                 name.c_str());
+    return nullptr;
   }
   return spec;
+}
+
+/// Chunked-generation knobs shared by the streaming paths. The chunk
+/// size is part of the determinism contract (the stream is a function of
+/// (params, seed, chunk_edges)), so it is a flag, not a budget-derived
+/// value.
+gen::ChunkedOptions ChunkedFromFlags(const Flags& flags) {
+  gen::ChunkedOptions options;
+  options.chunk_edges =
+      static_cast<std::size_t>(flags.GetInt("chunk-edges", 1u << 18));
+  return options;
 }
 
 /// Shared --extmem knobs: --mem-budget=<MB> bounds the streaming buffers
@@ -289,9 +324,52 @@ int CmdScore(const Flags& flags) {
   return 0;
 }
 
+/// Streams a huge-tier dataset chunk-parallel into a .gpack through the
+/// external build pipeline. Peak RAM is the extmem budget plus the
+/// chunk window — never the edge list, which only ever exists as an
+/// ordered sequence of per-chunk buffers in flight.
+int StreamHugePack(const Flags& flags, const std::string& name,
+                   const std::string& out) {
+  if (!EndsWith(out, ".gpack")) {
+    std::fprintf(stderr,
+                 "error: huge-tier datasets are stream-only; pass "
+                 "--out=<f.gpack> (got '%s')\n",
+                 out.c_str());
+    return 2;
+  }
+  const double scale = flags.GetDouble("scale", 1.0);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const gen::ChunkedOptions chunked = ChunkedFromFlags(flags);
+  Timer timer;
+  extmem::ExtBuildStats stats;
+  NodeId num_nodes = 0;
+  IoResult r = extmem::BuildPackFromEdgeStream(
+      [&](const std::function<IoResult(const Edge*, std::size_t)>& sink) {
+        return gen::StreamDataset(name, scale, seed, chunked, sink,
+                                  &num_nodes);
+      },
+      /*reserve_nodes=*/0, out, ExtmemFromFlags(flags), &stats);
+  if (!r.ok) {
+    std::fprintf(stderr, "error: %s\n", r.error.c_str());
+    return 1;
+  }
+  ReportExtBuild(stats);
+  GORDER_LOG_INFO("%s: %.3fs (%.1f Medges/s attempts, %d threads)\n",
+                  name.c_str(), timer.Seconds(),
+                  static_cast<double>(stats.edges_ingested) / 1e6 /
+                      std::max(timer.Seconds(), 1e-12),
+                  NumThreads());
+  std::printf("%s\n", out.c_str());
+  return 0;
+}
+
 int CmdGen(const Flags& flags) {
   std::string name = flags.GetString("dataset", "epinion");
-  if (RequireDatasetSpec(name) == nullptr) return 2;
+  const gen::DatasetSpec* spec = RequireDatasetSpec(flags, name);
+  if (spec == nullptr) return 2;
+  if (spec->tier == gen::DatasetTier::kHuge) {
+    return StreamHugePack(flags, name, flags.GetString("out", ""));
+  }
   double scale = flags.GetDouble("scale", 0.25);
   auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   Graph g = gen::MakeDataset(name, scale, seed);
@@ -385,7 +463,11 @@ int CmdPack(const Flags& flags) {
   }
   Graph g;
   if (!dataset.empty()) {
-    if (RequireDatasetSpec(dataset) == nullptr) return 2;
+    const gen::DatasetSpec* spec = RequireDatasetSpec(flags, dataset);
+    if (spec == nullptr) return 2;
+    if (spec->tier == gen::DatasetTier::kHuge) {
+      return StreamHugePack(flags, dataset, out);
+    }
     double scale = flags.GetDouble("scale", 0.25);
     auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
     std::string store_dir = flags.GetString("store-dir", "");
